@@ -1,0 +1,158 @@
+//! Connected components via BFS sweep.
+
+use sembfs_csr::CsrGraph;
+use sembfs_graph500::VertexId;
+
+/// Per-vertex component labels plus the component size distribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentReport {
+    /// `labels[v]` is `v`'s component id (ids are dense, assigned in
+    /// discovery order; isolated vertices get their own component).
+    pub labels: Vec<u32>,
+    /// `sizes[c]` is the vertex count of component `c`.
+    pub sizes: Vec<u64>,
+}
+
+impl ComponentReport {
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Size of the largest ("giant") component.
+    pub fn giant_size(&self) -> u64 {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The component id of the giant component.
+    pub fn giant_id(&self) -> u32 {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &s)| s)
+            .map(|(c, _)| c as u32)
+            .unwrap_or(0)
+    }
+
+    /// Fraction of vertices inside the giant component.
+    pub fn giant_fraction(&self) -> f64 {
+        let total: u64 = self.sizes.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.giant_size() as f64 / total as f64
+        }
+    }
+}
+
+/// Label the connected components of `csr` with a serial BFS sweep.
+///
+/// This is an in-DRAM utility (components are a whole-graph property; the
+/// semi-external layout would re-read the full forward graph once per
+/// component, which no deployment would do — load the CSR, label, drop).
+pub fn connected_components(csr: &CsrGraph) -> ComponentReport {
+    let n = csr.num_vertices() as usize;
+    const UNLABELED: u32 = u32::MAX;
+    let mut labels = vec![UNLABELED; n];
+    let mut sizes = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n {
+        if labels[s] != UNLABELED {
+            continue;
+        }
+        let c = sizes.len() as u32;
+        labels[s] = c;
+        let mut size = 1u64;
+        queue.push_back(s as VertexId);
+        while let Some(v) = queue.pop_front() {
+            for &w in csr.neighbors(v) {
+                if labels[w as usize] == UNLABELED {
+                    labels[w as usize] = c;
+                    size += 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    ComponentReport { labels, sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sembfs_csr::{build_csr, BuildOptions};
+    use sembfs_graph500::edge_list::MemEdgeList;
+
+    fn csr(edges: Vec<(u32, u32)>, n: u64) -> CsrGraph {
+        build_csr(&MemEdgeList::new(n, edges), BuildOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn two_components_and_an_isolated_vertex() {
+        let g = csr(vec![(0, 1), (1, 2), (3, 4)], 6);
+        let r = connected_components(&g);
+        assert_eq!(r.num_components(), 3);
+        assert_eq!(r.labels[0], r.labels[1]);
+        assert_eq!(r.labels[1], r.labels[2]);
+        assert_eq!(r.labels[3], r.labels[4]);
+        assert_ne!(r.labels[0], r.labels[3]);
+        assert_ne!(r.labels[5], r.labels[0]);
+        assert_eq!(r.sizes, vec![3, 2, 1]);
+        assert_eq!(r.giant_size(), 3);
+        assert_eq!(r.giant_id(), 0);
+        assert!((r.giant_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_connected_graph_is_one_component() {
+        let g = csr(vec![(0, 1), (1, 2), (2, 3), (3, 0)], 4);
+        let r = connected_components(&g);
+        assert_eq!(r.num_components(), 1);
+        assert_eq!(r.giant_fraction(), 1.0);
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let g = csr(vec![], 3);
+        let r = connected_components(&g);
+        assert_eq!(r.num_components(), 3);
+        assert_eq!(r.giant_size(), 1);
+    }
+
+    #[test]
+    fn kronecker_has_a_giant_component() {
+        let el = sembfs_graph500::KroneckerParams::graph500(10, 6).generate();
+        let g = build_csr(&el, BuildOptions::default()).unwrap();
+        let r = connected_components(&g);
+        // Kronecker graphs at edge factor 16 have a dominant giant
+        // component plus isolated vertices.
+        assert!(r.giant_fraction() > 0.4, "giant {:.2}", r.giant_fraction());
+        let total: u64 = r.sizes.iter().sum();
+        assert_eq!(total, g.num_vertices());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Labels are consistent with edges (endpoints share labels)
+            /// and sizes sum to n.
+            #[test]
+            fn labels_respect_edges(
+                edges in proptest::collection::vec((0u32..40, 0u32..40), 0..120)
+            ) {
+                let g = csr(edges.clone(), 40);
+                let r = connected_components(&g);
+                for &(u, v) in &edges {
+                    prop_assert_eq!(r.labels[u as usize], r.labels[v as usize]);
+                }
+                prop_assert_eq!(r.sizes.iter().sum::<u64>(), 40);
+                for (v, &c) in r.labels.iter().enumerate() {
+                    prop_assert!((c as usize) < r.num_components(), "vertex {v}");
+                }
+            }
+        }
+    }
+}

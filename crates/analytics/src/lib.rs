@@ -1,0 +1,20 @@
+//! BFS-powered network analytics on top of the `sembfs` public API.
+//!
+//! The paper motivates semi-external BFS with application fields — social
+//! networks, system biology, business intelligence (§I) — whose common
+//! questions are reachability-shaped: who is connected to whom, how many
+//! hops apart, how wide is the network. This crate answers them with the
+//! same hybrid searcher the benchmark runs, so every analysis inherits
+//! the semi-external layout (and its device accounting) for free.
+//!
+//! * [`components`] — connected components and their size distribution;
+//! * [`separation`] — degrees-of-separation profiles from BFS levels and
+//!   a double-sweep pseudo-diameter estimate.
+
+pub mod components;
+pub mod separation;
+
+pub use components::{connected_components, ComponentReport};
+pub use separation::{pseudo_diameter, separation_histogram, SeparationProfile};
+
+pub use sembfs_graph500::VertexId;

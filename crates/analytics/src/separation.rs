@@ -1,0 +1,160 @@
+//! Degrees-of-separation profiles and pseudo-diameter estimation, driven
+//! by the semi-external hybrid BFS.
+
+use sembfs_core::{BfsConfig, DirectionPolicy, ScenarioData};
+use sembfs_graph500::validate::{compute_levels, INVALID_LEVEL};
+use sembfs_graph500::VertexId;
+use sembfs_semext::Result;
+
+/// The level structure of one BFS: how many vertices sit at each number
+/// of hops from the seed.
+///
+/// ```
+/// use sembfs_analytics::separation_histogram;
+/// use sembfs_graph500::INVALID_PARENT;
+///
+/// // Path 0-1-2 plus an unreachable vertex.
+/// let parent = vec![0, 0, 1, INVALID_PARENT];
+/// let profile = separation_histogram(&parent, 0).unwrap();
+/// assert_eq!(profile.counts, vec![1, 1, 1]);
+/// assert_eq!(profile.eccentricity(), 2);
+/// assert_eq!(profile.unreachable, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeparationProfile {
+    /// The seed vertex.
+    pub seed: VertexId,
+    /// `counts[d]` = vertices exactly `d` hops from the seed.
+    pub counts: Vec<u64>,
+    /// Vertices unreachable from the seed.
+    pub unreachable: u64,
+}
+
+impl SeparationProfile {
+    /// The farthest reached distance (0 for an isolated seed).
+    pub fn eccentricity(&self) -> u32 {
+        (self.counts.len() as u32).saturating_sub(1)
+    }
+
+    /// Total reachable vertices (including the seed).
+    pub fn reachable(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean separation over reachable vertices (the "degrees of
+    /// separation" statistic; 0 when only the seed is reachable).
+    pub fn mean_separation(&self) -> f64 {
+        let total = self.reachable();
+        if total <= 1 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| d as u64 * c)
+            .sum();
+        weighted as f64 / (total - 1) as f64
+    }
+}
+
+/// Build the separation histogram of a finished BFS parent array.
+pub fn separation_histogram(parent: &[VertexId], seed: VertexId) -> Result<SeparationProfile> {
+    let levels =
+        compute_levels(parent, seed).map_err(|e| sembfs_semext::Error::Corrupt(e.to_string()))?;
+    let mut counts = Vec::new();
+    let mut unreachable = 0u64;
+    for &l in &levels {
+        if l == INVALID_LEVEL {
+            unreachable += 1;
+            continue;
+        }
+        if counts.len() <= l as usize {
+            counts.resize(l as usize + 1, 0);
+        }
+        counts[l as usize] += 1;
+    }
+    Ok(SeparationProfile {
+        seed,
+        counts,
+        unreachable,
+    })
+}
+
+/// Double-sweep pseudo-diameter: BFS from `start`, re-run from a farthest
+/// vertex, and report that eccentricity — a standard lower bound on the
+/// true diameter that is usually tight on small-world graphs. Both sweeps
+/// run through the scenario's (possibly semi-external) layout.
+pub fn pseudo_diameter(
+    data: &ScenarioData,
+    start: VertexId,
+    policy: &dyn DirectionPolicy,
+) -> Result<(u32, VertexId, VertexId)> {
+    let first = data.run(start, policy, &BfsConfig::paper())?;
+    let profile = separation_histogram(&first.parent, start)?;
+    let ecc = profile.eccentricity();
+    // A vertex on the last level.
+    let levels = compute_levels(&first.parent, start)
+        .map_err(|e| sembfs_semext::Error::Corrupt(e.to_string()))?;
+    let far = levels
+        .iter()
+        .position(|&l| l == ecc)
+        .map(|v| v as VertexId)
+        .unwrap_or(start);
+    let second = data.run(far, policy, &BfsConfig::paper())?;
+    let ecc2 = separation_histogram(&second.parent, far)?.eccentricity();
+    Ok((ecc.max(ecc2), far, start))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sembfs_core::{AlphaBetaPolicy, Scenario, ScenarioOptions};
+    use sembfs_graph500::edge_list::MemEdgeList;
+    use sembfs_graph500::INVALID_PARENT;
+
+    #[test]
+    fn histogram_of_a_path() {
+        // 0-1-2-3, 4 isolated; BFS tree from 0.
+        let parent = vec![0, 0, 1, 2, INVALID_PARENT];
+        let p = separation_histogram(&parent, 0).unwrap();
+        assert_eq!(p.counts, vec![1, 1, 1, 1]);
+        assert_eq!(p.eccentricity(), 3);
+        assert_eq!(p.reachable(), 4);
+        assert_eq!(p.unreachable, 1);
+        assert!((p.mean_separation() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_seed_profile() {
+        let parent = vec![0, INVALID_PARENT];
+        let p = separation_histogram(&parent, 0).unwrap();
+        assert_eq!(p.eccentricity(), 0);
+        assert_eq!(p.mean_separation(), 0.0);
+        assert_eq!(p.unreachable, 1);
+    }
+
+    #[test]
+    fn pseudo_diameter_on_a_path_graph() {
+        // Path 0-1-2-3-4: true diameter 4. Starting mid-path (2) has
+        // eccentricity 2; the double sweep must find 4.
+        let el = MemEdgeList::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let data =
+            ScenarioData::build(&el, Scenario::DramOnly, ScenarioOptions::default()).unwrap();
+        let (d, _, _) = pseudo_diameter(&data, 2, &AlphaBetaPolicy::new(1e4, 1e4)).unwrap();
+        assert_eq!(d, 4);
+    }
+
+    #[test]
+    fn pseudo_diameter_through_semi_external_layout() {
+        let el = sembfs_graph500::KroneckerParams::graph500(9, 3).generate();
+        let data =
+            ScenarioData::build(&el, Scenario::DramPcieFlash, ScenarioOptions::default()).unwrap();
+        let seed = sembfs_graph500::select_roots(512, 1, 1, |v| data.degree(v))[0];
+        let (d, far, _) = pseudo_diameter(&data, seed, &AlphaBetaPolicy::new(1e4, 1e5)).unwrap();
+        assert!(d >= 1);
+        assert!((far as u64) < 512);
+        // The device was exercised.
+        assert!(data.device().unwrap().snapshot().requests > 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Microbenchmarks of the page-cache model and the batched (libaio-style)
+//! submission path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sembfs_semext::cache::PAGE_BYTES;
+use sembfs_semext::{
+    BatchRead, CachedStore, DelayMode, Device, DeviceProfile, DramBackend, PageCache, ReadAt,
+};
+
+fn bench_page_cache_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page_cache_access");
+    // Hot: working set fits; every access is a hit.
+    let hot = PageCache::new(1024 * PAGE_BYTES);
+    let f = hot.register_file();
+    for p in 0..1024 {
+        hot.access(f, p);
+    }
+    let mut i = 0u64;
+    g.bench_function("hit", |b| {
+        b.iter(|| {
+            i = (i + 7) % 1024;
+            hot.access(f, i)
+        })
+    });
+    // Cold: working set 4× capacity; mostly misses with CLOCK eviction.
+    let cold = PageCache::new(256 * PAGE_BYTES);
+    let f2 = cold.register_file();
+    let mut j = 0u64;
+    g.bench_function("miss_evict", |b| {
+        b.iter(|| {
+            j = (j + 13) % 1024;
+            cold.access(f2, j)
+        })
+    });
+    g.finish();
+}
+
+fn bench_cached_store_read(c: &mut Criterion) {
+    let data = vec![3u8; 4 << 20];
+    let dev = Device::new(DeviceProfile::iodrive2(), DelayMode::Accounting);
+    let cache = PageCache::new(8 << 20);
+    let store = CachedStore::new(DramBackend::new(data), dev, cache);
+    store.warm();
+    let mut g = c.benchmark_group("cached_store");
+    g.throughput(Throughput::Bytes(4096));
+    let mut buf = vec![0u8; 4096];
+    let mut off = 0u64;
+    g.bench_function("warm_4k_read", |b| {
+        b.iter(|| {
+            off = (off + 8192) % ((4 << 20) - 4096);
+            store.read_at(off, &mut buf).unwrap();
+        })
+    });
+    g.finish();
+}
+
+fn bench_batch_vs_loop(c: &mut Criterion) {
+    let data = vec![9u8; 1 << 20];
+    let mut g = c.benchmark_group("submission_model");
+    for batch in [8usize, 64] {
+        let dev = Device::new(DeviceProfile::iodrive2(), DelayMode::Accounting);
+        let store = sembfs_semext::NvmStore::new(DramBackend::new(data.clone()), dev);
+        g.bench_with_input(BenchmarkId::new("loop_read_at", batch), &batch, |b, &n| {
+            let mut buf = vec![0u8; 64];
+            b.iter(|| {
+                for i in 0..n {
+                    store.read_at((i * 4096) as u64, &mut buf).unwrap();
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("read_batch_at", batch), &batch, |b, &n| {
+            let mut bufs = vec![vec![0u8; 64]; n];
+            b.iter(|| {
+                let mut reqs: Vec<BatchRead<'_>> = bufs
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, buf)| BatchRead {
+                        offset: (i * 4096) as u64,
+                        buf: &mut buf[..],
+                    })
+                    .collect();
+                store.read_batch_at(&mut reqs).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_page_cache_access,
+    bench_cached_store_read,
+    bench_batch_vs_loop
+);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Microbenchmarks of the semi-external storage layer: device-model
+//! overhead, chunked span reads, and external CSR neighbor lookups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sembfs_semext::ext_csr::{write_csr_files, ExtCsr};
+use sembfs_semext::{
+    ChunkedReader, DelayMode, Device, DeviceProfile, DramBackend, FileBackend, NvmStore, ReadAt,
+    TempDir,
+};
+
+fn bench_device_accounting_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("device_model");
+    for (name, profile) in [
+        ("dram", DeviceProfile::dram()),
+        ("iodrive2", DeviceProfile::iodrive2()),
+        ("ssd320", DeviceProfile::intel_ssd_320()),
+    ] {
+        let dev = Device::new(profile, DelayMode::Accounting);
+        g.bench_with_input(BenchmarkId::new("read_request_4k", name), &dev, |b, dev| {
+            b.iter(|| dev.read_request(4096))
+        });
+    }
+    g.finish();
+}
+
+fn bench_chunked_reads(c: &mut Criterion) {
+    let data: Vec<u8> = (0..1 << 22).map(|i| (i % 251) as u8).collect();
+    let dev = Device::new(DeviceProfile::iodrive2(), DelayMode::Accounting);
+    let store = NvmStore::new(DramBackend::new(data), dev);
+    let mut g = c.benchmark_group("chunked_read_64k_span");
+    g.throughput(Throughput::Bytes(64 * 1024));
+    for (name, reader) in [
+        ("unmerged_4k", ChunkedReader::unmerged()),
+        ("merged_16k", ChunkedReader::new(16 * 1024)),
+        ("merged_64k", ChunkedReader::new(64 * 1024)),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &reader, |b, r| {
+            let mut buf = vec![0u8; 64 * 1024];
+            b.iter(|| r.read_span(&store, 12_345, &mut buf).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_ext_csr_neighbors(c: &mut Criterion) {
+    // A CSR with mixed degrees: vertex i has degree (i * 37) % 200.
+    let n = 10_000usize;
+    let mut index = vec![0u64];
+    let mut values = Vec::new();
+    for v in 0..n {
+        let deg = (v * 37) % 200;
+        for j in 0..deg {
+            values.push(((v + j) % n) as u32);
+        }
+        index.push(values.len() as u64);
+    }
+    let dir = TempDir::new("bench-ext-csr").unwrap();
+    let ip = dir.path().join("i");
+    let vp = dir.path().join("v");
+    write_csr_files(&ip, &vp, &index, &values).unwrap();
+
+    let mut g = c.benchmark_group("ext_csr_read_neighbors");
+    for (name, dram_index) in [("nvm_index", false), ("dram_index", true)] {
+        let csr = {
+            let c = ExtCsr::new(
+                FileBackend::open(&ip).unwrap(),
+                FileBackend::open(&vp).unwrap(),
+            )
+            .unwrap();
+            if dram_index {
+                c.with_dram_index().unwrap()
+            } else {
+                c
+            }
+        };
+        g.bench_function(name, |b| {
+            let reader = ChunkedReader::unmerged();
+            let (mut out, mut scratch) = (Vec::new(), Vec::new());
+            let mut v = 0u64;
+            b.iter(|| {
+                v = (v + 997) % n as u64;
+                csr.read_neighbors(v, &reader, &mut out, &mut scratch)
+                    .unwrap();
+                out.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_backend_read_at(c: &mut Criterion) {
+    let bytes: Vec<u8> = (0..1 << 22).map(|i| (i % 255) as u8).collect();
+    let dir = TempDir::new("bench-backend").unwrap();
+    let path = dir.path().join("blob");
+    std::fs::write(&path, &bytes).unwrap();
+
+    let mut g = c.benchmark_group("backend_read_4k");
+    g.throughput(Throughput::Bytes(4096));
+    let dram = DramBackend::new(bytes);
+    let file = FileBackend::open(&path).unwrap();
+    let mmap = sembfs_semext::MmapBackend::open(&path).unwrap();
+    let mut buf = vec![0u8; 4096];
+    let mut off = 0u64;
+    let mut step = |b: &mut criterion::Bencher, r: &dyn ReadAt| {
+        b.iter(|| {
+            off = (off + 8192) % ((1 << 22) - 4096);
+            r.read_at(off, &mut buf).unwrap();
+        })
+    };
+    g.bench_function("dram", |b| step(b, &dram));
+    g.bench_function("pread", |b| step(b, &file));
+    g.bench_function("mmap", |b| step(b, &mmap));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_device_accounting_overhead,
+    bench_chunked_reads,
+    bench_ext_csr_neighbors,
+    bench_backend_read_at
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Microbenchmarks of the Graph500 substrate: Kronecker edge generation
+//! (Step 1) and CSR / partitioned-graph construction (Step 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sembfs_csr::{build_csr, BuildOptions, DramForwardGraph};
+use sembfs_graph500::KroneckerParams;
+use sembfs_numa::RangePartition;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kronecker_generate");
+    for scale in [12u32, 14, 16] {
+        let params = KroneckerParams::graph500(scale, 7);
+        g.throughput(Throughput::Elements(params.num_edges()));
+        g.bench_with_input(BenchmarkId::from_parameter(scale), &params, |b, p| {
+            b.iter(|| p.generate())
+        });
+    }
+    g.finish();
+}
+
+fn bench_csr_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("csr_build");
+    for scale in [12u32, 14] {
+        let params = KroneckerParams::graph500(scale, 7);
+        let edges = params.generate();
+        g.throughput(Throughput::Elements(params.num_edges()));
+        g.bench_with_input(BenchmarkId::from_parameter(scale), &edges, |b, el| {
+            b.iter(|| build_csr(el, BuildOptions::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_forward_partitioning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("forward_graph_from_csr");
+    let params = KroneckerParams::graph500(14, 7);
+    let csr = build_csr(&params.generate(), BuildOptions::default()).unwrap();
+    for domains in [1usize, 2, 4, 8] {
+        let part = RangePartition::new(csr.num_vertices(), domains);
+        g.bench_with_input(BenchmarkId::from_parameter(domains), &part, |b, p| {
+            b.iter(|| DramForwardGraph::from_csr(&csr, p))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_csr_build,
+    bench_forward_partitioning
+);
+criterion_main!(benches);

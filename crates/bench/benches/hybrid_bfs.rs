@@ -1,0 +1,101 @@
+//! End-to-end BFS benchmarks: the hybrid searcher per scenario and
+//! policy, against the fixed-direction and serial-reference baselines.
+//! (Device models run in accounting mode here — wall-clock device effects
+//! are the figure binaries' job; these benches track the *code*'s speed.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sembfs_core::{
+    reference_bfs, AlphaBetaPolicy, BeamerPolicy, BfsConfig, Direction, FixedPolicy, Scenario,
+    ScenarioData, ScenarioOptions,
+};
+use sembfs_graph500::{select_roots, KroneckerParams};
+use sembfs_numa::Topology;
+
+const SCALE: u32 = 14;
+
+fn setup(scenario: Scenario) -> (ScenarioData, u32) {
+    let edges = KroneckerParams::graph500(SCALE, 5).generate();
+    let opts = ScenarioOptions {
+        topology: Topology::new(4, 1),
+        ..Default::default()
+    };
+    let data = ScenarioData::build(&edges, scenario, opts).unwrap();
+    let root = select_roots(data.csr().num_vertices(), 1, 2, |v| data.degree(v))[0];
+    (data, root)
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hybrid_bfs_scenario");
+    let m = KroneckerParams::graph500(SCALE, 5).num_edges();
+    g.throughput(Throughput::Elements(m));
+    g.sample_size(20);
+    for sc in Scenario::ALL {
+        let (data, root) = setup(sc);
+        let policy = sc.best_policy();
+        g.bench_function(BenchmarkId::from_parameter(sc.label()), |b| {
+            b.iter(|| data.run(root, &policy, &BfsConfig::paper()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bfs_policy_dram_only");
+    g.sample_size(20);
+    let (data, root) = setup(Scenario::DramOnly);
+    let total_edges = data.csr().num_values() / 2;
+
+    let ab = AlphaBetaPolicy::dram_only_best();
+    g.bench_function("alpha_beta_paper", |b| {
+        b.iter(|| data.run(root, &ab, &BfsConfig::paper()).unwrap())
+    });
+    let beamer = BeamerPolicy::with_defaults(total_edges);
+    let cfg = BfsConfig {
+        count_frontier_edges: true,
+        ..BfsConfig::paper()
+    };
+    g.bench_function("beamer_heuristic", |b| {
+        b.iter(|| data.run(root, &beamer, &cfg).unwrap())
+    });
+    for (name, dir) in [
+        ("top_down_only", Direction::TopDown),
+        ("bottom_up_only", Direction::BottomUp),
+    ] {
+        let p = FixedPolicy(dir);
+        g.bench_function(name, |b| {
+            b.iter(|| data.run(root, &p, &BfsConfig::paper()).unwrap())
+        });
+    }
+    g.bench_function("serial_reference", |b| {
+        b.iter(|| reference_bfs(data.csr(), root))
+    });
+    g.finish();
+}
+
+fn bench_split_backward(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bfs_split_backward");
+    g.sample_size(15);
+    for k in [2u64, 32] {
+        let edges = KroneckerParams::graph500(SCALE, 5).generate();
+        let opts = ScenarioOptions {
+            topology: Topology::new(4, 1),
+            backward_offload_k: Some(k),
+            ..Default::default()
+        };
+        let data = ScenarioData::build(&edges, Scenario::DramPcieFlash, opts).unwrap();
+        let root = select_roots(data.csr().num_vertices(), 1, 2, |v| data.degree(v))[0];
+        let policy = Scenario::DramPcieFlash.best_policy();
+        g.bench_function(BenchmarkId::from_parameter(format!("k{k}")), |b| {
+            b.iter(|| data.run(root, &policy, &BfsConfig::paper()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scenarios,
+    bench_policies,
+    bench_split_backward
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Ablation (DESIGN.md §7.3): the paper's α/β frontier-size rule versus
+//! Beamer et al.'s edge-based heuristic, on every scenario.
+//!
+//! The paper's rule has two scenario-tuned knobs; Beamer's heuristic is
+//! parameter-free (α=14, β=24 on edge counts). The interesting question
+//! for the NVM scenarios: does the untuned heuristic leave the expensive
+//! top-down phase early enough?
+
+use sembfs_bench::{mteps, BenchEnv, Table};
+use sembfs_core::{BeamerPolicy, BfsConfig, Direction, DirectionPolicy, Scenario};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.print_header(
+        "Ablation: α/β rule (paper) vs Beamer edge heuristic",
+        "paper §III-C cites both families; evaluation uses the α/β rule",
+    );
+    let edges = env.generate();
+
+    let mut table = Table::new(&[
+        "scenario",
+        "policy",
+        "median MTEPS",
+        "TD edges/run",
+        "BU edges/run",
+    ]);
+    for sc in Scenario::ALL {
+        let data = env.build(&edges, sc, env.measured_options());
+        let roots = env.roots(&data);
+        let total_edges = data.csr().num_values() / 2;
+
+        let ab = sc.best_policy();
+        let beamer = BeamerPolicy::with_defaults(total_edges);
+        let policies: Vec<(&dyn DirectionPolicy, BfsConfig)> = vec![
+            (&ab, BfsConfig::paper()),
+            (
+                &beamer,
+                BfsConfig {
+                    count_frontier_edges: true,
+                    ..BfsConfig::paper()
+                },
+            ),
+        ];
+        for (policy, cfg) in policies {
+            let runs: Vec<_> = roots
+                .iter()
+                .map(|&r| data.run(r, policy, &cfg).expect("bfs"))
+                .collect();
+            let mut teps: Vec<f64> = runs.iter().map(|r| r.teps()).collect();
+            teps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let td: u64 = runs
+                .iter()
+                .flat_map(|r| &r.levels)
+                .filter(|l| l.direction == Direction::TopDown)
+                .map(|l| l.scanned_edges)
+                .sum();
+            let bu: u64 = runs
+                .iter()
+                .flat_map(|r| &r.levels)
+                .filter(|l| l.direction == Direction::BottomUp)
+                .map(|l| l.scanned_edges)
+                .sum();
+            table.row(&[
+                sc.label().to_string(),
+                policy.label(),
+                mteps(teps[teps.len() / 2]),
+                format!("{}", td / runs.len() as u64),
+                format!("{}", bu / runs.len() as u64),
+            ]);
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,59 @@
+//! Ablation (DESIGN.md §7.4): degree-ordered vertex relabeling.
+//!
+//! The Graph500 scrambler randomizes vertex IDs; relabeling by descending
+//! degree packs hubs into a dense prefix. This compares hybrid BFS on the
+//! scrambled layout (the paper's setting) against the degree-ordered one,
+//! per scenario.
+
+use sembfs_bench::{measure, mteps, BenchEnv, Table};
+use sembfs_core::{Scenario, ScenarioData};
+use sembfs_csr::{build_csr, BuildOptions, Relabeling};
+use sembfs_graph500::select_roots;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.print_header(
+        "Ablation: degree-ordered vertex relabeling",
+        "not in the paper — tests whether the scrambled layout costs performance",
+    );
+    let edges = env.generate();
+    let base_csr = build_csr(&edges, BuildOptions::default()).expect("csr");
+    let relabeling = Relabeling::by_degree_desc(&base_csr);
+    let relabeled_csr = relabeling.apply_to_csr(&base_csr);
+
+    let mut table = Table::new(&["scenario", "layout", "median MTEPS", "delta %"]);
+    for sc in Scenario::ALL {
+        let policy = sc.best_policy();
+
+        let data =
+            ScenarioData::from_csr(base_csr.clone(), sc, env.measured_options()).expect("scenario");
+        let roots = env.roots(&data);
+        let (_, base_median) = measure(&data, &roots, &policy);
+
+        let data_r = ScenarioData::from_csr(relabeled_csr.clone(), sc, env.measured_options())
+            .expect("scenario");
+        let roots_r: Vec<u32> = roots.iter().map(|&r| relabeling.new_id(r)).collect();
+        let roots_r = if roots_r.iter().all(|&r| data_r.degree(r) > 0) {
+            roots_r
+        } else {
+            select_roots(relabeled_csr.num_vertices(), roots.len(), env.seed, |v| {
+                data_r.degree(v)
+            })
+        };
+        let (_, rel_median) = measure(&data_r, &roots_r, &policy);
+
+        table.row(&[
+            sc.label().to_string(),
+            "scrambled".into(),
+            mteps(base_median),
+            "+0.0".into(),
+        ]);
+        table.row(&[
+            sc.label().to_string(),
+            "degree-ordered".into(),
+            mteps(rel_median),
+            format!("{:+.1}", (rel_median / base_median - 1.0) * 100.0),
+        ]);
+    }
+    table.print();
+}

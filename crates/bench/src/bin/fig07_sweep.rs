@@ -1,0 +1,54 @@
+//! Figure 7: median TEPS over the (α, β) parameter space, one heatmap per
+//! scenario.
+//!
+//! Paper (SCALE 27): DRAM-only peaks at 5.12 GTEPS (α=1e4, β=10α);
+//! DRAM+PCIeFlash at 4.22 GTEPS (α=1e6, β=1α); DRAM+SSD at 2.76 GTEPS
+//! (α=1e5, β=0.1α) — the slower the device, the more the optimum moves
+//! toward "switch to bottom-up early, switch back late".
+
+use sembfs_bench::{measure, mteps, BenchEnv, Table};
+use sembfs_core::{AlphaBetaPolicy, Scenario};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.print_header(
+        "Figure 7: TEPS over the α×β space, three scenarios",
+        "SCALE 27 — best: DRAM-only 5.12 GTEPS @ (1e4, 10α); \
+         +PCIeFlash 4.22 @ (1e6, 1α); +SSD 2.76 @ (1e5, 0.1α)",
+    );
+
+    let alphas = [1e2, 1e3, 1e4, 1e5, 1e6];
+    let beta_mults = [0.1, 1.0, 10.0];
+    let edges = env.generate();
+
+    for sc in Scenario::ALL {
+        let data = env.build(&edges, sc, env.measured_options());
+        let roots = env.roots(&data);
+        println!(
+            "[{}] median MTEPS (rows: α, columns: β multiplier)",
+            sc.label()
+        );
+        let mut table = Table::new(&["alpha", "0.1*a", "1*a", "10*a"]);
+        let mut best = (0.0f64, 0.0f64, 0.0f64);
+        for &alpha in &alphas {
+            let mut cells = vec![format!("{alpha:.0e}")];
+            for &bm in &beta_mults {
+                let policy = AlphaBetaPolicy::new(alpha, alpha * bm);
+                let (_, median) = measure(&data, &roots, &policy);
+                if median > best.0 {
+                    best = (median, alpha, alpha * bm);
+                }
+                cells.push(mteps(median));
+            }
+            table.row(&cells);
+        }
+        table.print();
+        println!(
+            "  best: {} MTEPS at α = {:.0e}, β = {:.0e}\n",
+            mteps(best.0),
+            best.1,
+            best.2
+        );
+    }
+    println!("paper shape check: NVM scenarios prefer larger α (earlier bottom-up) than DRAM-only");
+}

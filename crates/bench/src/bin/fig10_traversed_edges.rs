@@ -1,0 +1,56 @@
+//! Figure 10: average traversed edges by direction.
+//!
+//! Paper: the NVM configurations choose parameters that *minimize
+//! top-down traversals* (those hit the device) at the cost of one or two
+//! extra bottom-up levels — total scanned edges stay close to DRAM-only
+//! while the top-down share collapses.
+
+use sembfs_bench::{measure, BenchEnv, Table};
+use sembfs_core::{Direction, DirectionPolicy, LevelStats, Scenario};
+
+fn mean_by_direction(all_runs: &[Vec<LevelStats>], dir: Direction) -> f64 {
+    let total: u64 = all_runs
+        .iter()
+        .flat_map(|levels| levels.iter())
+        .filter(|l| l.direction == dir)
+        .map(|l| l.scanned_edges)
+        .sum();
+    total as f64 / all_runs.len() as f64
+}
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.print_header(
+        "Figure 10: Traversed Edges by Direction",
+        "SCALE 27 — NVM configs shrink the top-down share; totals stay comparable",
+    );
+    let edges = env.generate();
+
+    let mut table = Table::new(&[
+        "scenario",
+        "policy",
+        "top-down edges/run",
+        "bottom-up edges/run",
+        "total/run",
+        "TD share %",
+    ]);
+    for sc in Scenario::ALL {
+        let data = env.build(&edges, sc, env.measured_options());
+        let roots = env.roots(&data);
+        let policy = sc.best_policy();
+        let (runs, _) = measure(&data, &roots, &policy);
+        let levels: Vec<_> = runs.into_iter().map(|r| r.levels).collect();
+        let td = mean_by_direction(&levels, Direction::TopDown);
+        let bu = mean_by_direction(&levels, Direction::BottomUp);
+        table.row(&[
+            sc.label().to_string(),
+            policy.label(),
+            format!("{td:.0}"),
+            format!("{bu:.0}"),
+            format!("{:.0}", td + bu),
+            format!("{:.2}", 100.0 * td / (td + bu)),
+        ]);
+    }
+    table.print();
+    println!("\npaper shape check: TD share smallest for the NVM scenarios' best policies");
+}

@@ -1,0 +1,437 @@
+//! The bottom-up step (Fig. 2) and its neighbor sources.
+//!
+//! Every unvisited vertex probes its neighbor list for a frontier member
+//! and stops at the first hit ("the bottom-up approach terminates the
+//! vertex searches … once we find [a frontier vertex]"). Vertices are
+//! scanned per NUMA domain over the backward graph's local range (§V-C).
+//!
+//! [`BottomUpSource`] abstracts where the neighbor list lives:
+//!
+//! * [`BackwardGraph`] — fully in DRAM (the paper's implemented layout);
+//! * [`SplitBackwardGraph`] — DRAM head + NVM tail (§VI-E, the extension
+//!   the paper only *estimates*; here it actually runs, counting how many
+//!   probes spill to external memory for Fig. 14).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use rayon::prelude::*;
+use sembfs_csr::{BackwardGraph, NeighborCtx, SplitBackwardGraph};
+use sembfs_numa::RangePartition;
+use sembfs_semext::{ReadAt, Result};
+
+use crate::bitmap::AtomicBitmap;
+use crate::VertexId;
+
+/// Result of probing one vertex's neighbors for a frontier member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchOutcome {
+    /// The frontier neighbor found, if any (becomes the parent).
+    pub parent: Option<VertexId>,
+    /// Neighbor entries examined in DRAM.
+    pub dram_edges: u64,
+    /// Neighbor entries examined on external memory.
+    pub nvm_edges: u64,
+}
+
+/// A neighbor source for the bottom-up probe.
+pub trait BottomUpSource: Send + Sync {
+    /// The NUMA vertex partition.
+    fn partition(&self) -> &RangePartition;
+
+    /// Probe `w`'s neighbors in order; stop at the first neighbor for
+    /// which `in_frontier` is true.
+    fn search_parent(
+        &self,
+        w: VertexId,
+        ctx: &mut NeighborCtx,
+        in_frontier: impl Fn(VertexId) -> bool,
+    ) -> Result<SearchOutcome>;
+
+    /// Full degree of `w` (used for TEPS edge accounting).
+    fn full_degree(&self, w: VertexId, ctx: &mut NeighborCtx) -> Result<u64>;
+}
+
+impl BottomUpSource for BackwardGraph {
+    fn partition(&self) -> &RangePartition {
+        BackwardGraph::partition(self)
+    }
+
+    fn search_parent(
+        &self,
+        w: VertexId,
+        _ctx: &mut NeighborCtx,
+        in_frontier: impl Fn(VertexId) -> bool,
+    ) -> Result<SearchOutcome> {
+        let mut scanned = 0u64;
+        for &v in self.neighbors(w) {
+            scanned += 1;
+            if in_frontier(v) {
+                return Ok(SearchOutcome {
+                    parent: Some(v),
+                    dram_edges: scanned,
+                    nvm_edges: 0,
+                });
+            }
+        }
+        Ok(SearchOutcome {
+            parent: None,
+            dram_edges: scanned,
+            nvm_edges: 0,
+        })
+    }
+
+    fn full_degree(&self, w: VertexId, _ctx: &mut NeighborCtx) -> Result<u64> {
+        Ok(self.degree(w))
+    }
+}
+
+impl<R: ReadAt> BottomUpSource for SplitBackwardGraph<R> {
+    fn partition(&self) -> &RangePartition {
+        SplitBackwardGraph::partition(self)
+    }
+
+    fn search_parent(
+        &self,
+        w: VertexId,
+        ctx: &mut NeighborCtx,
+        in_frontier: impl Fn(VertexId) -> bool,
+    ) -> Result<SearchOutcome> {
+        // Hot head first — usually terminates here (§VI-E's premise).
+        let mut dram_edges = 0u64;
+        for &v in self.head_neighbors(w) {
+            dram_edges += 1;
+            if in_frontier(v) {
+                return Ok(SearchOutcome {
+                    parent: Some(v),
+                    dram_edges,
+                    nvm_edges: 0,
+                });
+            }
+        }
+        // Cold tail: stream from external memory.
+        let mut nvm_edges = 0u64;
+        let parent = self.with_tail_neighbors(w, ctx, |ns| {
+            for &v in ns {
+                nvm_edges += 1;
+                if in_frontier(v) {
+                    return Some(v);
+                }
+            }
+            None
+        })?;
+        Ok(SearchOutcome {
+            parent,
+            dram_edges,
+            nvm_edges,
+        })
+    }
+
+    fn full_degree(&self, w: VertexId, _ctx: &mut NeighborCtx) -> Result<u64> {
+        Ok(self.head_neighbors(w).len() as u64 + self.tail_degree(w)?)
+    }
+}
+
+/// Output of one bottom-up step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BottomUpOutput {
+    /// Vertices discovered (set in `next`).
+    pub discovered: u64,
+    /// Neighbor entries probed in DRAM.
+    pub dram_edges: u64,
+    /// Neighbor entries probed on external memory (split layout only).
+    pub nvm_edges: u64,
+}
+
+/// Run one bottom-up step: every unvisited vertex probes `frontier`
+/// (bitmap of the previous level) through `b`; finds are recorded in
+/// `parent`, `visited`, and `next`.
+pub fn bottom_up_step<B: BottomUpSource>(
+    b: &B,
+    frontier: &AtomicBitmap,
+    next: &AtomicBitmap,
+    parent: &[AtomicU32],
+    visited: &AtomicBitmap,
+    make_ctx: &(dyn Fn() -> NeighborCtx + Sync),
+) -> Result<BottomUpOutput> {
+    let part = b.partition();
+    let domains = part.num_domains();
+
+    let outs: Vec<BottomUpOutput> = (0..domains)
+        .into_par_iter()
+        .map(|k| -> Result<BottomUpOutput> {
+            let range = part.range(k);
+            // Chunk the local range so large domains parallelize inside.
+            let chunks: Vec<std::ops::Range<u64>> = {
+                let mut v = Vec::new();
+                let mut s = range.start;
+                while s < range.end {
+                    let e = (s + 4096).min(range.end);
+                    v.push(s..e);
+                    s = e;
+                }
+                v
+            };
+            let pieces: Vec<BottomUpOutput> = chunks
+                .into_par_iter()
+                .map_init(make_ctx, |ctx, chunk| -> Result<BottomUpOutput> {
+                    let mut out = BottomUpOutput {
+                        discovered: 0,
+                        dram_edges: 0,
+                        nvm_edges: 0,
+                    };
+                    for w in chunk {
+                        let w = w as VertexId;
+                        if visited.get(w) {
+                            continue;
+                        }
+                        let so = b.search_parent(w, ctx, |v| frontier.get(v))?;
+                        out.dram_edges += so.dram_edges;
+                        out.nvm_edges += so.nvm_edges;
+                        if let Some(p) = so.parent {
+                            parent[w as usize].store(p, Ordering::Relaxed);
+                            visited.set(w);
+                            next.set(w);
+                            out.discovered += 1;
+                        }
+                    }
+                    Ok(out)
+                })
+                .collect::<Result<Vec<_>>>()?;
+            Ok(pieces.into_iter().fold(
+                BottomUpOutput {
+                    discovered: 0,
+                    dram_edges: 0,
+                    nvm_edges: 0,
+                },
+                |a, b| BottomUpOutput {
+                    discovered: a.discovered + b.discovered,
+                    dram_edges: a.dram_edges + b.dram_edges,
+                    nvm_edges: a.nvm_edges + b.nvm_edges,
+                },
+            ))
+        })
+        .collect::<Result<Vec<_>>>()?;
+
+    Ok(outs.into_iter().fold(
+        BottomUpOutput {
+            discovered: 0,
+            dram_edges: 0,
+            nvm_edges: 0,
+        },
+        |a, b| BottomUpOutput {
+            discovered: a.discovered + b.discovered,
+            dram_edges: a.dram_edges + b.dram_edges,
+            nvm_edges: a.nvm_edges + b.nvm_edges,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{new_parent_array, snapshot_parents};
+    use sembfs_csr::backward::split_csr;
+    use sembfs_csr::{build_csr, BuildOptions, CsrGraph};
+    use sembfs_graph500::edge_list::MemEdgeList;
+    use sembfs_semext::ext_csr::{write_csr_files, ExtCsr};
+    use sembfs_semext::{FileBackend, TempDir};
+
+    fn backward(edges: Vec<(u32, u32)>, n: u64, domains: usize) -> BackwardGraph {
+        let el = MemEdgeList::new(n, edges);
+        let csr = build_csr(
+            &el,
+            BuildOptions {
+                sort_neighbors: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        BackwardGraph::new(csr, RangePartition::new(n, domains))
+    }
+
+    #[test]
+    fn discovers_level_from_frontier() {
+        // Star: 0 is the frontier, 1..=4 unvisited.
+        let bg = backward(vec![(0, 1), (0, 2), (0, 3), (0, 4)], 5, 2);
+        let parent = new_parent_array(5, 0);
+        let visited = AtomicBitmap::new(5);
+        visited.set(0);
+        let frontier = AtomicBitmap::new(5);
+        frontier.set(0);
+        let next = AtomicBitmap::new(5);
+
+        let out =
+            bottom_up_step(&bg, &frontier, &next, &parent, &visited, &NeighborCtx::dram).unwrap();
+        assert_eq!(out.discovered, 4);
+        assert_eq!(next.count_ones(), 4);
+        assert_eq!(&snapshot_parents(&parent)[1..], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn early_termination_counts_fewer_probes() {
+        // Vertex 3 has neighbors [0, 1, 2] sorted; frontier contains 0 →
+        // one probe suffices.
+        let bg = backward(vec![(3, 0), (3, 1), (3, 2)], 4, 1);
+        let parent = new_parent_array(4, 0);
+        let visited = AtomicBitmap::new(4);
+        visited.set(0);
+        let frontier = AtomicBitmap::new(4);
+        frontier.set(0);
+        let next = AtomicBitmap::new(4);
+
+        let out =
+            bottom_up_step(&bg, &frontier, &next, &parent, &visited, &NeighborCtx::dram).unwrap();
+        assert_eq!(out.discovered, 1);
+        // 3 probed once (hit 0 immediately); 1 and 2 probed their single
+        // neighbor (3, not in frontier) once each.
+        assert_eq!(out.dram_edges, 3);
+        assert_eq!(parent[3].load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn no_frontier_discovers_nothing() {
+        let bg = backward(vec![(0, 1)], 2, 1);
+        let parent = new_parent_array(2, 0);
+        let visited = AtomicBitmap::new(2);
+        let frontier = AtomicBitmap::new(2);
+        let next = AtomicBitmap::new(2);
+        let out =
+            bottom_up_step(&bg, &frontier, &next, &parent, &visited, &NeighborCtx::dram).unwrap();
+        assert_eq!(out.discovered, 0);
+        assert_eq!(next.count_ones(), 0);
+    }
+
+    fn split_source(
+        csr: &CsrGraph,
+        k: u64,
+        domains: usize,
+        dir: &TempDir,
+    ) -> SplitBackwardGraph<FileBackend> {
+        let (head, ti, tv) = split_csr(csr, k);
+        let ip = dir.path().join("tail.index");
+        let vp = dir.path().join("tail.values");
+        write_csr_files(&ip, &vp, &ti, &tv).unwrap();
+        let tail = ExtCsr::new(
+            FileBackend::open(&ip).unwrap(),
+            FileBackend::open(&vp).unwrap(),
+        )
+        .unwrap()
+        .with_dram_index()
+        .unwrap();
+        SplitBackwardGraph::new(
+            head,
+            tail,
+            RangePartition::new(csr.num_vertices(), domains),
+            k,
+        )
+    }
+
+    #[test]
+    fn split_source_spills_to_tail() {
+        // Vertex 5 has neighbors [0,1,2,3,4]; keep 2 in DRAM. Frontier
+        // contains only 4 → head misses (2 probes), tail finds it (3rd
+        // tail probe).
+        let el = MemEdgeList::new(6, vec![(5, 0), (5, 1), (5, 2), (5, 3), (5, 4)]);
+        let csr = build_csr(
+            &el,
+            BuildOptions {
+                sort_neighbors: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let dir = TempDir::new("bu-split").unwrap();
+        let sbg = split_source(&csr, 2, 1, &dir);
+
+        let mut ctx = NeighborCtx::dram();
+        let so = sbg.search_parent(5, &mut ctx, |v| v == 4).unwrap();
+        assert_eq!(so.parent, Some(4));
+        assert_eq!(so.dram_edges, 2);
+        assert_eq!(so.nvm_edges, 3);
+        assert_eq!(sbg.full_degree(5, &mut ctx).unwrap(), 5);
+    }
+
+    #[test]
+    fn split_source_head_hit_avoids_nvm() {
+        let el = MemEdgeList::new(6, vec![(5, 0), (5, 1), (5, 2), (5, 3), (5, 4)]);
+        let csr = build_csr(
+            &el,
+            BuildOptions {
+                sort_neighbors: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let dir = TempDir::new("bu-split-hit").unwrap();
+        let sbg = split_source(&csr, 2, 1, &dir);
+        let mut ctx = NeighborCtx::dram();
+        let so = sbg.search_parent(5, &mut ctx, |v| v == 0).unwrap();
+        assert_eq!(so.parent, Some(0));
+        assert_eq!(so.dram_edges, 1);
+        assert_eq!(so.nvm_edges, 0);
+    }
+
+    #[test]
+    fn split_step_equals_dram_step() {
+        // A random-ish graph: both layouts must discover identical levels.
+        let el = MemEdgeList::new(
+            16,
+            vec![
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 4),
+                (2, 5),
+                (3, 6),
+                (4, 7),
+                (5, 8),
+                (0, 9),
+                (9, 10),
+                (10, 11),
+                (0, 12),
+                (12, 13),
+                (13, 14),
+                (14, 15),
+            ],
+        );
+        let csr = build_csr(
+            &el,
+            BuildOptions {
+                sort_neighbors: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let dir = TempDir::new("bu-eq").unwrap();
+        let sbg = split_source(&csr, 1, 2, &dir);
+        let bg = BackwardGraph::new(csr, RangePartition::new(16, 2));
+
+        let run = |do_split: bool| -> (u64, Vec<u32>) {
+            let parent = new_parent_array(16, 0);
+            let visited = AtomicBitmap::new(16);
+            visited.set(0);
+            let frontier = AtomicBitmap::new(16);
+            frontier.set(0);
+            let next = AtomicBitmap::new(16);
+            let out = if do_split {
+                bottom_up_step(
+                    &sbg,
+                    &frontier,
+                    &next,
+                    &parent,
+                    &visited,
+                    &NeighborCtx::dram,
+                )
+                .unwrap()
+            } else {
+                bottom_up_step(&bg, &frontier, &next, &parent, &visited, &NeighborCtx::dram)
+                    .unwrap()
+            };
+            (out.discovered, snapshot_parents(&parent))
+        };
+        let (d1, p1) = run(false);
+        let (d2, p2) = run(true);
+        assert_eq!(d1, d2);
+        assert_eq!(p1, p2);
+    }
+}

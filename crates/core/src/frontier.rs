@@ -1,0 +1,98 @@
+//! Frontier representations and conversions.
+//!
+//! The top-down step consumes the frontier as a **queue** of vertex IDs
+//! (threads dequeue batches of 64, §V-C); the bottom-up step consumes it
+//! as a **bitmap** (membership tests from every unvisited vertex). The
+//! hybrid driver converts between the two at direction switches.
+
+use rayon::prelude::*;
+
+use crate::bitmap::AtomicBitmap;
+use crate::VertexId;
+
+/// Fill `bitmap` with the members of `queue` (bitmap must be pre-cleared).
+pub fn queue_to_bitmap(queue: &[VertexId], bitmap: &AtomicBitmap) {
+    queue.par_iter().for_each(|&v| bitmap.set(v));
+}
+
+/// Collect the set bits of `bitmap` into an ascending queue.
+pub fn bitmap_to_queue(bitmap: &AtomicBitmap) -> Vec<VertexId> {
+    let words = bitmap.num_words();
+    // Parallel over word blocks, then concatenate in order.
+    let blocks: Vec<Vec<VertexId>> = (0..words.div_ceil(1024))
+        .into_par_iter()
+        .map(|blk| {
+            let mut out = Vec::new();
+            let start = blk * 1024;
+            let end = (start + 1024).min(words);
+            for wi in start..end {
+                let mut w = bitmap.word(wi);
+                while w != 0 {
+                    let bit = w.trailing_zeros();
+                    w &= w - 1;
+                    let v = (wi * 64) as u64 + bit as u64;
+                    if v < bitmap.len() {
+                        out.push(v as VertexId);
+                    }
+                }
+            }
+            out
+        })
+        .collect();
+    let mut queue = Vec::with_capacity(blocks.iter().map(Vec::len).sum());
+    for b in blocks {
+        queue.extend(b);
+    }
+    queue
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_queue_bitmap_queue() {
+        let queue: Vec<u32> = vec![0, 5, 63, 64, 100, 9999];
+        let bm = AtomicBitmap::new(10_000);
+        queue_to_bitmap(&queue, &bm);
+        assert_eq!(bm.count_ones(), queue.len() as u64);
+        assert_eq!(bitmap_to_queue(&bm), queue);
+    }
+
+    #[test]
+    fn empty_conversions() {
+        let bm = AtomicBitmap::new(100);
+        queue_to_bitmap(&[], &bm);
+        assert!(bitmap_to_queue(&bm).is_empty());
+    }
+
+    #[test]
+    fn large_dense_bitmap() {
+        let n = 100_000u64;
+        let bm = AtomicBitmap::new(n);
+        let queue: Vec<u32> = (0..n as u32).step_by(3).collect();
+        queue_to_bitmap(&queue, &bm);
+        assert_eq!(bitmap_to_queue(&bm), queue);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// queue → bitmap → queue is the sorted dedup of the input.
+            #[test]
+            fn conversion_roundtrip(
+                raw in proptest::collection::vec(0u32..5000, 0..300),
+                len in 5000u64..6000,
+            ) {
+                let bm = AtomicBitmap::new(len);
+                queue_to_bitmap(&raw, &bm);
+                let mut expect = raw.clone();
+                expect.sort_unstable();
+                expect.dedup();
+                prop_assert_eq!(bitmap_to_queue(&bm), expect);
+            }
+        }
+    }
+}

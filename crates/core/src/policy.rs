@@ -1,0 +1,302 @@
+//! Direction-switching policies (§III-C).
+//!
+//! The paper's rule uses two thresholds on the frontier size relative to
+//! the total vertex count: with frontier sizes `n_f(i)` and `n_f(i-1)`,
+//!
+//! * **TD → BU** when the frontier is *growing* and `n_f(i) > n_all / α`;
+//! * **BU → TD** when the frontier is *shrinking* and `n_f(i) < n_all / β`.
+//!
+//! Larger α switches to bottom-up earlier; larger β switches back to
+//! top-down later. The NVM scenarios favor large α (leave the slow
+//! forward graph quickly) and large β (return to it as late as possible):
+//! the paper's best settings are `α=1e4, β=10α` for DRAM-only and
+//! `α=1e6, β=1α` for DRAM+PCIeFlash (§VI-B).
+
+use crate::level_stats::Direction;
+
+/// Inputs available to a policy when choosing the next level's direction.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyCtx {
+    /// The direction the previous level ran in.
+    pub current: Direction,
+    /// BFS level about to execute (1 = first expansion from the root).
+    pub level: u32,
+    /// Total vertices in the graph (`n_all`).
+    pub n_all: u64,
+    /// Frontier size after the previous level (`n_frontier(i)`).
+    pub frontier: u64,
+    /// Frontier size before the previous level (`n_frontier(i-1)`).
+    pub prev_frontier: u64,
+    /// Sum of degrees of the current frontier, when the driver computed
+    /// it (used by edge-based heuristics; `None` otherwise).
+    pub frontier_edges: Option<u64>,
+    /// Number of still-unvisited vertices.
+    pub unvisited: u64,
+}
+
+/// A rule choosing each level's direction.
+pub trait DirectionPolicy: Send + Sync {
+    /// Decide the direction of the next level.
+    fn decide(&self, ctx: &PolicyCtx) -> Direction;
+
+    /// A short label for reports.
+    fn label(&self) -> String;
+}
+
+/// The paper's α/β frontier-size rule.
+///
+/// ```
+/// use sembfs_core::policy::{AlphaBetaPolicy, DirectionPolicy, PolicyCtx};
+/// use sembfs_core::Direction;
+///
+/// let policy = AlphaBetaPolicy::new(1e4, 1e5);
+/// let ctx = PolicyCtx {
+///     current: Direction::TopDown,
+///     level: 3,
+///     n_all: 1 << 27,
+///     frontier: 1 << 20,       // large and growing …
+///     prev_frontier: 1 << 16,
+///     frontier_edges: None,
+///     unvisited: 1 << 26,
+/// };
+/// // … so the rule leaves the (possibly NVM-resident) forward graph:
+/// assert_eq!(policy.decide(&ctx), Direction::BottomUp);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaBetaPolicy {
+    /// Threshold divisor for TD→BU (`switch when n_f > n_all/α`).
+    pub alpha: f64,
+    /// Threshold divisor for BU→TD (`switch when n_f < n_all/β`).
+    pub beta: f64,
+}
+
+impl AlphaBetaPolicy {
+    /// Create the policy; both thresholds must be positive.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && beta > 0.0, "α and β must be positive");
+        Self { alpha, beta }
+    }
+
+    /// The paper's best DRAM-only setting: `α = 1e4, β = 10α` (§VI-B).
+    pub fn dram_only_best() -> Self {
+        Self::new(1e4, 1e5)
+    }
+
+    /// The paper's best DRAM+PCIeFlash setting: `α = 1e6, β = 1α`.
+    pub fn pcie_flash_best() -> Self {
+        Self::new(1e6, 1e6)
+    }
+
+    /// The paper's best DRAM+SSD setting: `α = 1e5, β = 0.1α`.
+    pub fn ssd_best() -> Self {
+        Self::new(1e5, 1e4)
+    }
+}
+
+impl DirectionPolicy for AlphaBetaPolicy {
+    fn decide(&self, ctx: &PolicyCtx) -> Direction {
+        let n_all = ctx.n_all as f64;
+        let nf = ctx.frontier as f64;
+        match ctx.current {
+            Direction::TopDown => {
+                if ctx.prev_frontier < ctx.frontier && nf > n_all / self.alpha {
+                    Direction::BottomUp
+                } else {
+                    Direction::TopDown
+                }
+            }
+            Direction::BottomUp => {
+                if ctx.prev_frontier > ctx.frontier && nf < n_all / self.beta {
+                    Direction::TopDown
+                } else {
+                    Direction::BottomUp
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("hybrid(α={:.0e}, β={:.0e})", self.alpha, self.beta)
+    }
+}
+
+/// Always run one direction — the paper's *top-down only* and *bottom-up
+/// only* baselines in Fig. 8/9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedPolicy(pub Direction);
+
+impl DirectionPolicy for FixedPolicy {
+    fn decide(&self, _ctx: &PolicyCtx) -> Direction {
+        self.0
+    }
+
+    fn label(&self) -> String {
+        format!("{} only", self.0)
+    }
+}
+
+/// Beamer et al.'s direction-optimizing heuristic (SC'12), for ablation
+/// against the paper's rule: TD→BU when the frontier's outgoing edges
+/// exceed `unexplored_edges / α`; BU→TD when the frontier shrinks below
+/// `n_all / β`. Uses `frontier_edges` when the driver provides it,
+/// falling back to the frontier size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeamerPolicy {
+    /// Edge-ratio threshold (Beamer's default 14).
+    pub alpha: f64,
+    /// Vertex-ratio threshold (Beamer's default 24).
+    pub beta: f64,
+    /// Total edges in the graph (directed entries / 2).
+    pub total_edges: u64,
+}
+
+impl BeamerPolicy {
+    /// Beamer's published defaults.
+    pub fn with_defaults(total_edges: u64) -> Self {
+        Self {
+            alpha: 14.0,
+            beta: 24.0,
+            total_edges,
+        }
+    }
+}
+
+impl DirectionPolicy for BeamerPolicy {
+    fn decide(&self, ctx: &PolicyCtx) -> Direction {
+        match ctx.current {
+            Direction::TopDown => {
+                let mf = ctx.frontier_edges.unwrap_or(ctx.frontier) as f64;
+                // Estimate unexplored edges by the unvisited share.
+                let mu = self.total_edges as f64 * ctx.unvisited as f64 / ctx.n_all.max(1) as f64;
+                if mf > mu / self.alpha {
+                    Direction::BottomUp
+                } else {
+                    Direction::TopDown
+                }
+            }
+            Direction::BottomUp => {
+                if (ctx.frontier as f64) < ctx.n_all as f64 / self.beta
+                    && ctx.prev_frontier > ctx.frontier
+                {
+                    Direction::TopDown
+                } else {
+                    Direction::BottomUp
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("beamer(α={}, β={})", self.alpha, self.beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(current: Direction, prev: u64, cur: u64, n: u64) -> PolicyCtx {
+        PolicyCtx {
+            current,
+            level: 3,
+            n_all: n,
+            frontier: cur,
+            prev_frontier: prev,
+            frontier_edges: None,
+            unvisited: n - cur,
+        }
+    }
+
+    #[test]
+    fn alpha_switches_on_growth_past_threshold() {
+        let p = AlphaBetaPolicy::new(100.0, 100.0); // threshold n/100
+        let n = 10_000;
+        // Growing and above threshold (100): switch.
+        assert_eq!(
+            p.decide(&ctx(Direction::TopDown, 50, 150, n)),
+            Direction::BottomUp
+        );
+        // Growing but below threshold: stay.
+        assert_eq!(
+            p.decide(&ctx(Direction::TopDown, 50, 90, n)),
+            Direction::TopDown
+        );
+        // Above threshold but shrinking: stay.
+        assert_eq!(
+            p.decide(&ctx(Direction::TopDown, 200, 150, n)),
+            Direction::TopDown
+        );
+    }
+
+    #[test]
+    fn beta_switches_on_shrink_below_threshold() {
+        let p = AlphaBetaPolicy::new(100.0, 100.0);
+        let n = 10_000;
+        // Shrinking and below threshold: switch back.
+        assert_eq!(
+            p.decide(&ctx(Direction::BottomUp, 200, 50, n)),
+            Direction::TopDown
+        );
+        // Shrinking but above threshold: stay.
+        assert_eq!(
+            p.decide(&ctx(Direction::BottomUp, 500, 200, n)),
+            Direction::BottomUp
+        );
+        // Below threshold but growing: stay.
+        assert_eq!(
+            p.decide(&ctx(Direction::BottomUp, 10, 50, n)),
+            Direction::BottomUp
+        );
+    }
+
+    #[test]
+    fn larger_alpha_switches_earlier() {
+        // α=1e6 → threshold n/1e6 ≈ 0: any growth switches.
+        let eager = AlphaBetaPolicy::pcie_flash_best();
+        let n = 1 << 27;
+        assert_eq!(
+            eager.decide(&ctx(Direction::TopDown, 1, 200, n)),
+            Direction::BottomUp
+        );
+        // α=10 → threshold n/10: 200 ≪ n/10 stays top-down.
+        let lazy = AlphaBetaPolicy::new(10.0, 10.0);
+        assert_eq!(
+            lazy.decide(&ctx(Direction::TopDown, 1, 200, n)),
+            Direction::TopDown
+        );
+    }
+
+    #[test]
+    fn fixed_policy_never_switches() {
+        let p = FixedPolicy(Direction::TopDown);
+        assert_eq!(
+            p.decide(&ctx(Direction::BottomUp, 9, 1, 10)),
+            Direction::TopDown
+        );
+        assert!(p.label().contains("top-down"));
+    }
+
+    #[test]
+    fn beamer_switches_on_edge_ratio() {
+        let p = BeamerPolicy::with_defaults(1_000_000);
+        let mut c = ctx(Direction::TopDown, 10, 100, 10_000);
+        // Huge frontier edge count → switch.
+        c.frontier_edges = Some(500_000);
+        assert_eq!(p.decide(&c), Direction::BottomUp);
+        // Tiny frontier edge count → stay.
+        c.frontier_edges = Some(10);
+        assert_eq!(p.decide(&c), Direction::TopDown);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nonpositive_alpha_rejected() {
+        AlphaBetaPolicy::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn labels_mention_parameters() {
+        assert!(AlphaBetaPolicy::new(1e4, 1e5).label().contains("1e4"));
+        assert!(BeamerPolicy::with_defaults(10).label().contains("beamer"));
+    }
+}

@@ -1,0 +1,653 @@
+//! The machine scenarios of Table I and their data layouts (§V-A, §VI-A).
+//!
+//! * **DRAM-only** — everything in DRAM (the 128 GB machine).
+//! * **DRAM+PCIeFlash** — forward graph offloaded to a FusionIO ioDrive2
+//!   model; backward graph + status data in DRAM (the 64 GB machine).
+//! * **DRAM+SSD** — same layout on an Intel SSD 320 model.
+//!
+//! [`ScenarioData::build`] performs the paper's Steps 1–2: construct both
+//! CSR graphs from the edge list, write the forward graph's per-domain
+//! index/value files to the scenario's device, and (optionally, §VI-E)
+//! split the backward graph's cold tail onto the same device.
+//! [`ScenarioData::run`] then executes any policy's BFS over that layout.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use sembfs_csr::backward::split_csr;
+use sembfs_csr::{
+    build_csr, BackwardGraph, BuildOptions, CsrGraph, DramForwardGraph, ExtForwardGraph,
+    SplitBackwardGraph,
+};
+use sembfs_graph500::edge_list::EdgeList;
+use sembfs_numa::{RangePartition, Topology};
+use sembfs_semext::ext_csr::{write_csr_files, ExtCsr};
+use sembfs_semext::{
+    CachedStore, ChunkedReader, DelayMode, Device, DeviceProfile, FileBackend, NvmStore, PageCache,
+    Result, TempDir,
+};
+
+use crate::hybrid::{hybrid_bfs, BfsConfig, BfsRun};
+use crate::policy::DirectionPolicy;
+use crate::tree::status_data_bytes;
+use crate::{AlphaBetaPolicy, VertexId};
+
+/// The three machine configurations of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// All datasets in DRAM.
+    DramOnly,
+    /// Forward graph on PCIe flash (FusionIO ioDrive2 model).
+    DramPcieFlash,
+    /// Forward graph on SATA SSD (Intel SSD 320 model).
+    DramSsd,
+}
+
+impl Scenario {
+    /// All three scenarios, in the paper's presentation order.
+    pub const ALL: [Scenario; 3] = [
+        Scenario::DramOnly,
+        Scenario::DramPcieFlash,
+        Scenario::DramSsd,
+    ];
+
+    /// The paper's label for the scenario.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scenario::DramOnly => "DRAM-only",
+            Scenario::DramPcieFlash => "DRAM+PCIeFlash",
+            Scenario::DramSsd => "DRAM+SSD",
+        }
+    }
+
+    /// The simulated device profile backing the scenario's NVM, if any.
+    pub fn device_profile(&self) -> Option<DeviceProfile> {
+        match self {
+            Scenario::DramOnly => None,
+            Scenario::DramPcieFlash => Some(DeviceProfile::iodrive2()),
+            Scenario::DramSsd => Some(DeviceProfile::intel_ssd_320()),
+        }
+    }
+
+    /// The best α/β the paper found for this scenario (§VI-B).
+    pub fn best_policy(&self) -> AlphaBetaPolicy {
+        match self {
+            Scenario::DramOnly => AlphaBetaPolicy::dram_only_best(),
+            Scenario::DramPcieFlash => AlphaBetaPolicy::pcie_flash_best(),
+            Scenario::DramSsd => AlphaBetaPolicy::ssd_best(),
+        }
+    }
+}
+
+/// Build-time options for a scenario's data layout.
+#[derive(Debug, Clone)]
+pub struct ScenarioOptions {
+    /// NUMA topology model (`ℓ` domains).
+    pub topology: Topology,
+    /// Whether simulated devices really delay callers
+    /// ([`DelayMode::Throttled`], benches) or only record
+    /// ([`DelayMode::Accounting`], tests).
+    pub delay_mode: DelayMode,
+    /// Slow-down/speed-up factor applied to the device profiles (1.0 =
+    /// paper-era hardware as calibrated in `DeviceProfile`).
+    pub device_scale: f64,
+    /// Pin the forward graph's index arrays in DRAM (ablation; the paper
+    /// reads them from NVM).
+    pub dram_index: bool,
+    /// `Some(k)`: offload the backward graph's per-vertex tail beyond `k`
+    /// edges to the device (§VI-E). `None`: backward graph fully in DRAM.
+    pub backward_offload_k: Option<u64>,
+    /// Replace the scenario's device profile (for studies across device
+    /// generations; ignored in the DRAM-only scenario).
+    pub device_profile_override: Option<DeviceProfile>,
+    /// How offloaded files are read: the paper's explicit `read(2)` path
+    /// or `mmap(2)` (ablation; both are metered by the device model).
+    pub access_path: AccessPath,
+    /// Model the OS page cache with this many bytes of spare DRAM: file
+    /// pages of the offloaded forward graph are cached with CLOCK
+    /// replacement, and only misses reach the device. `None` disables the
+    /// model (every read hits the device — a pessimistic bound the paper's
+    /// SCALE 27 runs approach, while its SCALE 26 runs sit near the fully
+    /// cached end; see Fig. 8 vs Fig. 9).
+    pub page_cache_bytes: Option<u64>,
+    /// Directory for the "NVM" files; a fresh temp dir when `None`.
+    pub data_dir: Option<PathBuf>,
+    /// Sort adjacency lists during construction (deterministic layout).
+    pub sort_neighbors: bool,
+}
+
+impl Default for ScenarioOptions {
+    fn default() -> Self {
+        Self {
+            topology: Topology::detect(),
+            delay_mode: DelayMode::Accounting,
+            device_scale: 1.0,
+            dram_index: false,
+            backward_offload_k: None,
+            device_profile_override: None,
+            access_path: AccessPath::Pread,
+            page_cache_bytes: None,
+            data_dir: None,
+            sort_neighbors: false,
+        }
+    }
+}
+
+impl ScenarioOptions {
+    /// Options for wall-clock measurement (throttled devices).
+    pub fn measured() -> Self {
+        Self {
+            delay_mode: DelayMode::Throttled,
+            ..Default::default()
+        }
+    }
+}
+
+/// How offloaded files are accessed (§V-B1: the paper uses POSIX
+/// `read(2)`; `mmap` is the obvious alternative the ablation compares).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccessPath {
+    /// Positional `read(2)`/`pread` syscalls — the paper's path.
+    #[default]
+    Pread,
+    /// Memory-mapped files (page faults instead of syscalls).
+    Mmap,
+}
+
+/// Where the forward graph lives.
+#[derive(Debug)]
+pub enum ForwardStore {
+    /// In DRAM (the DRAM-only scenario).
+    Dram(DramForwardGraph),
+    /// On the scenario's simulated NVM device, read with `pread`.
+    Ext(ExtForwardGraph<NvmStore<FileBackend>>),
+    /// On the device, read through `mmap`.
+    ExtMmap(ExtForwardGraph<NvmStore<MmapBackend>>),
+    /// On the device, fronted by a modeled OS page cache.
+    ExtCached(ExtForwardGraph<CachedStore<FileBackend>>),
+}
+
+/// Where the backward graph lives.
+#[derive(Debug)]
+pub enum BackwardStore {
+    /// Fully in DRAM (the paper's implemented layout).
+    Dram(BackwardGraph),
+    /// DRAM head + NVM tail (§VI-E).
+    Split(SplitBackwardGraph<NvmStore<FileBackend>>),
+}
+
+/// A fully constructed scenario: both graphs in their configured homes,
+/// the device model, and the scratch directory keeping the files alive.
+#[derive(Debug)]
+pub struct ScenarioData {
+    scenario: Scenario,
+    options: ScenarioOptions,
+    forward: ForwardStore,
+    backward: BackwardStore,
+    csr: CsrGraph,
+    partition: RangePartition,
+    device: Option<Arc<Device>>,
+    page_cache: Option<Arc<PageCache>>,
+    _tempdir: Option<TempDir>,
+}
+
+impl ScenarioData {
+    /// Execute the paper's graph-construction step for `scenario`.
+    pub fn build(
+        edges: &dyn EdgeList,
+        scenario: Scenario,
+        options: ScenarioOptions,
+    ) -> Result<Self> {
+        let csr = build_csr(
+            edges,
+            BuildOptions {
+                sort_neighbors: options.sort_neighbors,
+                ..Default::default()
+            },
+        )?;
+        Self::from_csr(csr, scenario, options)
+    }
+
+    /// Assemble a scenario from an already-built full CSR.
+    pub fn from_csr(csr: CsrGraph, scenario: Scenario, options: ScenarioOptions) -> Result<Self> {
+        let n = csr.num_vertices();
+        let partition = RangePartition::new(n, options.topology.domains());
+
+        let device = scenario.device_profile().map(|default_profile| {
+            let profile = options
+                .device_profile_override
+                .clone()
+                .unwrap_or(default_profile);
+            Device::new(profile.scaled(options.device_scale), options.delay_mode)
+        });
+
+        let needs_files = device.is_some();
+        let tempdir = if needs_files && options.data_dir.is_none() {
+            Some(TempDir::new("scenario")?)
+        } else if let Some(dir) = &options.data_dir {
+            std::fs::create_dir_all(dir)?;
+            None
+        } else {
+            None
+        };
+        let dir: Option<PathBuf> = if needs_files {
+            Some(match (&options.data_dir, &tempdir) {
+                (Some(d), _) => d.clone(),
+                (None, Some(t)) => t.path().to_path_buf(),
+                _ => unreachable!("files need a directory"),
+            })
+        } else {
+            None
+        };
+
+        // Forward graph: build in DRAM, then offload when the scenario has
+        // a device (§V-A Step 2: "construct the forward graph on DRAM …
+        // and offload the constructed forward graph to NVM").
+        let page_cache = match (&device, options.page_cache_bytes) {
+            (Some(_), Some(bytes)) => Some(PageCache::new(bytes)),
+            _ => None,
+        };
+        let fg_dram = DramForwardGraph::from_csr(&csr, &partition);
+        let forward = match &device {
+            None => ForwardStore::Dram(fg_dram),
+            Some(dev) => {
+                let dir = dir.as_ref().expect("device implies directory");
+                let paths = fg_dram.write_to_dir(dir)?;
+                drop(fg_dram);
+                match &page_cache {
+                    None if options.access_path == AccessPath::Mmap => {
+                        let domains = paths
+                            .iter()
+                            .map(|(ip, vp)| {
+                                ExtCsr::new(
+                                    NvmStore::new(MmapBackend::open(ip)?, dev.clone()),
+                                    NvmStore::new(MmapBackend::open(vp)?, dev.clone()),
+                                )
+                            })
+                            .collect::<Result<Vec<_>>>()?;
+                        let ext = ExtForwardGraph::new(domains, partition.clone());
+                        ForwardStore::ExtMmap(if options.dram_index {
+                            ext.with_dram_index()?
+                        } else {
+                            ext
+                        })
+                    }
+                    None => {
+                        let domains = paths
+                            .iter()
+                            .map(|(ip, vp)| {
+                                ExtCsr::new(
+                                    NvmStore::new(FileBackend::open(ip)?, dev.clone()),
+                                    NvmStore::new(FileBackend::open(vp)?, dev.clone()),
+                                )
+                            })
+                            .collect::<Result<Vec<_>>>()?;
+                        let ext = ExtForwardGraph::new(domains, partition.clone());
+                        ForwardStore::Ext(if options.dram_index {
+                            ext.with_dram_index()?
+                        } else {
+                            ext
+                        })
+                    }
+                    Some(cache) => {
+                        let domains = paths
+                            .iter()
+                            .map(|(ip, vp)| {
+                                let index = CachedStore::new(
+                                    FileBackend::open(ip)?,
+                                    dev.clone(),
+                                    cache.clone(),
+                                );
+                                let values = CachedStore::new(
+                                    FileBackend::open(vp)?,
+                                    dev.clone(),
+                                    cache.clone(),
+                                );
+                                // Step 2 just wrote these files through the
+                                // kernel: they start in the page cache.
+                                index.warm();
+                                values.warm();
+                                ExtCsr::new(index, values)
+                            })
+                            .collect::<Result<Vec<_>>>()?;
+                        let ext = ExtForwardGraph::new(domains, partition.clone());
+                        ForwardStore::ExtCached(if options.dram_index {
+                            ext.with_dram_index()?
+                        } else {
+                            ext
+                        })
+                    }
+                }
+            }
+        };
+
+        // Backward graph: DRAM, or split with the tail on the same device.
+        let backward = match (options.backward_offload_k, &device) {
+            (Some(k), Some(dev)) => {
+                let dir = dir.as_ref().expect("device implies directory");
+                let (head, tail_index, tail_values) = split_csr(&csr, k);
+                let ip = dir.join("bg-tail.index");
+                let vp = dir.join("bg-tail.values");
+                write_csr_files(&ip, &vp, &tail_index, &tail_values)?;
+                let tail = ExtCsr::new(
+                    NvmStore::new(FileBackend::open(&ip)?, dev.clone()),
+                    NvmStore::new(FileBackend::open(&vp)?, dev.clone()),
+                )?
+                // The tail index is pinned: §VI-E's estimate concerns edge
+                // (value) traffic, and an unpinned index would double every
+                // probe's request count.
+                .with_dram_index()?;
+                BackwardStore::Split(SplitBackwardGraph::new(head, tail, partition.clone(), k))
+            }
+            (Some(_), None) => {
+                panic!("backward_offload_k requires an NVM scenario (DramPcieFlash or DramSsd)")
+            }
+            (None, _) => BackwardStore::Dram(BackwardGraph::new(csr.clone(), partition.clone())),
+        };
+
+        Ok(Self {
+            scenario,
+            options,
+            forward,
+            backward,
+            csr,
+            partition,
+            device,
+            page_cache,
+            _tempdir: tempdir,
+        })
+    }
+
+    /// The scenario this data realizes.
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+    }
+
+    /// The build options.
+    pub fn options(&self) -> &ScenarioOptions {
+        &self.options
+    }
+
+    /// The full CSR (kept for root selection, validation aids, and the
+    /// reference baseline — measurement scaffolding, not BFS state).
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// The NUMA vertex partition.
+    pub fn partition(&self) -> &RangePartition {
+        &self.partition
+    }
+
+    /// The simulated NVM device, when the scenario has one.
+    pub fn device(&self) -> Option<&Arc<Device>> {
+        self.device.as_ref()
+    }
+
+    /// The modeled OS page cache, when enabled.
+    pub fn page_cache(&self) -> Option<&Arc<PageCache>> {
+        self.page_cache.as_ref()
+    }
+
+    /// The forward graph store.
+    pub fn forward(&self) -> &ForwardStore {
+        &self.forward
+    }
+
+    /// The backward graph store.
+    pub fn backward(&self) -> &BackwardStore {
+        &self.backward
+    }
+
+    /// Degree of `v` in the full graph.
+    pub fn degree(&self, v: VertexId) -> u64 {
+        self.csr.degree(v)
+    }
+
+    /// Forward-graph size in bytes (DRAM or NVM, Table II row 1).
+    pub fn forward_bytes(&self) -> u64 {
+        use sembfs_csr::DomainNeighbors;
+        match &self.forward {
+            ForwardStore::Dram(g) => g.byte_size(),
+            ForwardStore::Ext(g) => g.byte_size(),
+            ForwardStore::ExtMmap(g) => g.byte_size(),
+            ForwardStore::ExtCached(g) => g.byte_size(),
+        }
+    }
+
+    /// Backward-graph DRAM footprint in bytes (Table II row 2).
+    pub fn backward_dram_bytes(&self) -> u64 {
+        match &self.backward {
+            BackwardStore::Dram(g) => g.byte_size(),
+            BackwardStore::Split(g) => g.dram_byte_size(),
+        }
+    }
+
+    /// Bytes offloaded to the device (forward graph + backward tail).
+    pub fn nvm_bytes(&self) -> u64 {
+        use sembfs_csr::DomainNeighbors;
+        let fwd = match &self.forward {
+            ForwardStore::Dram(_) => 0,
+            ForwardStore::Ext(g) => g.byte_size(),
+            ForwardStore::ExtMmap(g) => g.byte_size(),
+            ForwardStore::ExtCached(g) => g.byte_size(),
+        };
+        let bwd = match &self.backward {
+            BackwardStore::Dram(_) => 0,
+            BackwardStore::Split(g) => g.nvm_byte_size(),
+        };
+        fwd + bwd
+    }
+
+    /// BFS status-data size in bytes (Table II row 3).
+    pub fn status_bytes(&self) -> u64 {
+        status_data_bytes(self.csr.num_vertices(), self.partition.num_domains())
+    }
+
+    /// Run one BFS from `root` under `policy`.
+    ///
+    /// The config is augmented with the scenario's device: its merge-aware
+    /// chunk reader and (if none was set) its I/O monitor.
+    pub fn run(
+        &self,
+        root: VertexId,
+        policy: &dyn DirectionPolicy,
+        cfg: &BfsConfig,
+    ) -> Result<BfsRun> {
+        let mut cfg = cfg.clone();
+        if let Some(dev) = &self.device {
+            if cfg.reader.is_none() {
+                cfg.reader = Some(ChunkedReader::for_device(dev));
+            }
+            if cfg.io_monitor.is_none() {
+                cfg.io_monitor = Some(dev.clone());
+            }
+        }
+        match (&self.forward, &self.backward) {
+            (ForwardStore::Dram(f), BackwardStore::Dram(b)) => hybrid_bfs(f, b, root, policy, &cfg),
+            (ForwardStore::Dram(f), BackwardStore::Split(b)) => {
+                hybrid_bfs(f, b, root, policy, &cfg)
+            }
+            (ForwardStore::Ext(f), BackwardStore::Dram(b)) => hybrid_bfs(f, b, root, policy, &cfg),
+            (ForwardStore::Ext(f), BackwardStore::Split(b)) => hybrid_bfs(f, b, root, policy, &cfg),
+            (ForwardStore::ExtMmap(f), BackwardStore::Dram(b)) => {
+                hybrid_bfs(f, b, root, policy, &cfg)
+            }
+            (ForwardStore::ExtMmap(f), BackwardStore::Split(b)) => {
+                hybrid_bfs(f, b, root, policy, &cfg)
+            }
+            (ForwardStore::ExtCached(f), BackwardStore::Dram(b)) => {
+                hybrid_bfs(f, b, root, policy, &cfg)
+            }
+            (ForwardStore::ExtCached(f), BackwardStore::Split(b)) => {
+                hybrid_bfs(f, b, root, policy, &cfg)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level_stats::Direction;
+    use crate::policy::FixedPolicy;
+    use sembfs_graph500::{select_roots, validate_bfs_tree, KroneckerParams};
+
+    fn small_options() -> ScenarioOptions {
+        ScenarioOptions {
+            topology: Topology::new(2, 2),
+            sort_neighbors: true,
+            ..Default::default()
+        }
+    }
+
+    fn kron(scale: u32) -> sembfs_graph500::MemEdgeList {
+        KroneckerParams::graph500(scale, 12).generate()
+    }
+
+    #[test]
+    fn scenario_labels_and_profiles() {
+        assert_eq!(Scenario::DramOnly.label(), "DRAM-only");
+        assert!(Scenario::DramOnly.device_profile().is_none());
+        assert!(Scenario::DramPcieFlash.device_profile().is_some());
+        assert!(Scenario::DramSsd.device_profile().is_some());
+    }
+
+    #[test]
+    fn all_scenarios_produce_identical_levels() {
+        let el = kron(9);
+        let mut runs = Vec::new();
+        for sc in Scenario::ALL {
+            let data = ScenarioData::build(&el, sc, small_options()).unwrap();
+            let roots = select_roots(data.csr().num_vertices(), 2, 5, |v| data.degree(v));
+            let policy = sc.best_policy();
+            for &root in &roots {
+                let run = data.run(root, &policy, &BfsConfig::paper()).unwrap();
+                let report = validate_bfs_tree(&run.parent, root, &el).unwrap();
+                assert_eq!(report.visited, run.visited, "{}", sc.label());
+                runs.push((sc, root, report.levels));
+            }
+        }
+        // Same root ⇒ same level assignment in every scenario.
+        for w in runs.windows(1) {
+            let _ = w;
+        }
+        let base: Vec<_> = runs
+            .iter()
+            .filter(|(s, _, _)| *s == Scenario::DramOnly)
+            .collect();
+        for (s, root, levels) in &runs {
+            let b = base.iter().find(|(_, r, _)| r == root).unwrap();
+            assert_eq!(levels, &b.2, "{} root {root}", s.label());
+        }
+    }
+
+    #[test]
+    fn nvm_scenario_issues_requests() {
+        let el = kron(9);
+        let data = ScenarioData::build(&el, Scenario::DramPcieFlash, small_options()).unwrap();
+        let root = select_roots(data.csr().num_vertices(), 1, 1, |v| data.degree(v))[0];
+        // Force pure top-down so every expansion reads NVM.
+        let run = data
+            .run(root, &FixedPolicy(Direction::TopDown), &BfsConfig::paper())
+            .unwrap();
+        assert!(run.visited > 1);
+        let snap = data.device().unwrap().snapshot();
+        assert!(snap.requests > 0, "top-down must touch the device");
+        assert!(run.levels.iter().any(|l| l.io.is_some()));
+    }
+
+    #[test]
+    fn dram_only_issues_no_requests() {
+        let el = kron(8);
+        let data = ScenarioData::build(&el, Scenario::DramOnly, small_options()).unwrap();
+        assert!(data.device().is_none());
+        assert_eq!(data.nvm_bytes(), 0);
+    }
+
+    #[test]
+    fn split_backward_reduces_dram() {
+        let el = kron(9);
+        let mut opts = small_options();
+        opts.backward_offload_k = Some(2);
+        let data = ScenarioData::build(&el, Scenario::DramSsd, opts).unwrap();
+        let full = data.csr().byte_size();
+        assert!(data.backward_dram_bytes() < full);
+        assert!(data.nvm_bytes() > data.forward_bytes());
+
+        // And BFS still works + validates.
+        let root = select_roots(data.csr().num_vertices(), 1, 3, |v| data.degree(v))[0];
+        let run = data
+            .run(root, &Scenario::DramSsd.best_policy(), &BfsConfig::paper())
+            .unwrap();
+        validate_bfs_tree(&run.parent, root, &el).unwrap();
+        // Some probes must have spilled to the tail.
+        assert!(run.levels.iter().any(|l| l.nvm_edges > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an NVM scenario")]
+    fn split_without_device_rejected() {
+        let el = kron(6);
+        let mut opts = small_options();
+        opts.backward_offload_k = Some(2);
+        let _ = ScenarioData::build(&el, Scenario::DramOnly, opts);
+    }
+
+    #[test]
+    fn warm_page_cache_absorbs_all_reads() {
+        let el = kron(9);
+        let mut opts = small_options();
+        // Cache big enough for the whole forward graph.
+        opts.page_cache_bytes = Some(64 << 20);
+        let data = ScenarioData::build(&el, Scenario::DramPcieFlash, opts).unwrap();
+        assert!(data.page_cache().is_some());
+        let root = select_roots(data.csr().num_vertices(), 1, 4, |v| data.degree(v))[0];
+        let run = data
+            .run(root, &FixedPolicy(Direction::TopDown), &BfsConfig::paper())
+            .unwrap();
+        assert!(run.visited > 1);
+        // Files were written through the kernel → cache starts warm → no
+        // device requests at all.
+        assert_eq!(data.device().unwrap().snapshot().requests, 0);
+        let (hits, _) = data.page_cache().unwrap().stats();
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn tiny_page_cache_still_correct_but_pays_the_device() {
+        let el = kron(9);
+        let base = ScenarioData::build(&el, Scenario::DramOnly, small_options()).unwrap();
+        let root = select_roots(base.csr().num_vertices(), 1, 4, |v| base.degree(v))[0];
+        let expect = sembfs_graph500::validate::compute_levels(
+            &base
+                .run(root, &FixedPolicy(Direction::TopDown), &BfsConfig::paper())
+                .unwrap()
+                .parent,
+            root,
+        )
+        .unwrap();
+
+        let mut opts = small_options();
+        opts.page_cache_bytes = Some(16 * 4096); // 16 pages: thrashes
+        let data = ScenarioData::build(&el, Scenario::DramPcieFlash, opts).unwrap();
+        let run = data
+            .run(root, &FixedPolicy(Direction::TopDown), &BfsConfig::paper())
+            .unwrap();
+        let got = sembfs_graph500::validate::compute_levels(&run.parent, root).unwrap();
+        assert_eq!(got, expect, "cache must never change results");
+        assert!(
+            data.device().unwrap().snapshot().requests > 0,
+            "a thrashing cache must reach the device"
+        );
+    }
+
+    #[test]
+    fn size_accounting_consistent() {
+        let el = kron(9);
+        let data = ScenarioData::build(&el, Scenario::DramPcieFlash, small_options()).unwrap();
+        assert_eq!(data.nvm_bytes(), data.forward_bytes());
+        assert!(data.backward_dram_bytes() > 0);
+        assert!(data.status_bytes() > 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! The top-down step (Fig. 1), NUMA-structured per §V-C.
+//!
+//! All domains expand the *entire* frontier (the frontier is conceptually
+//! duplicated per domain, Fig. 6), but domain `k` only examines the
+//! neighbor sub-lists living in `k`'s vertex range — so every
+//! `tree`/visited write is domain-local. Threads dequeue vertices in
+//! fixed batches (64 in the paper) and, on the semi-external path, each
+//! batch's neighbor spans are fetched from NVM in ≤4 KiB chunks through
+//! the [`NeighborCtx`] reader.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use rayon::prelude::*;
+use sembfs_csr::{DomainNeighbors, NeighborCtx};
+use sembfs_semext::Result;
+
+use crate::bitmap::AtomicBitmap;
+use crate::VertexId;
+
+/// Output of one top-down step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopDownOutput {
+    /// The next frontier (unsorted; one entry per newly visited vertex).
+    pub next: Vec<VertexId>,
+    /// Edges examined (all neighbor entries of the frontier).
+    pub scanned_edges: u64,
+}
+
+/// Expand `frontier` through `g`, claiming unvisited neighbors.
+///
+/// `parent` and `visited` are updated atomically; `make_ctx` builds the
+/// per-task scratch (supplying the chunk reader appropriate for where `g`
+/// lives). `batch` is the dequeue granularity (the paper uses 64).
+pub fn top_down_step<G: DomainNeighbors>(
+    g: &G,
+    frontier: &[VertexId],
+    parent: &[AtomicU32],
+    visited: &AtomicBitmap,
+    batch: usize,
+    make_ctx: &(dyn Fn() -> NeighborCtx + Sync),
+) -> Result<TopDownOutput> {
+    let domains = g.num_domains();
+    let batch = batch.max(1);
+
+    // Each (domain, batch) task claims vertices independently; the visited
+    // bitmap arbitrates, so no deduplication pass is needed.
+    let per_domain: Vec<(Vec<VertexId>, u64)> = (0..domains)
+        .into_par_iter()
+        .map(|k| -> Result<(Vec<VertexId>, u64)> {
+            let pieces: Vec<(Vec<VertexId>, u64)> = frontier
+                .par_chunks(batch)
+                .map_init(make_ctx, |ctx, chunk| -> Result<(Vec<VertexId>, u64)> {
+                    let mut next = Vec::new();
+                    let mut scanned = 0u64;
+                    // One dequeue batch; batch-capable sources may
+                    // serve it as a single async submission (§VI-D).
+                    g.with_neighbors_batch(k, chunk, ctx, &mut |v, ns| {
+                        scanned += ns.len() as u64;
+                        for &w in ns {
+                            if !visited.get(w) && !visited.test_and_set(w) {
+                                parent[w as usize].store(v, Ordering::Relaxed);
+                                next.push(w);
+                            }
+                        }
+                    })?;
+                    Ok((next, scanned))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            let mut next = Vec::new();
+            let mut scanned = 0u64;
+            for (n, s) in pieces {
+                next.extend(n);
+                scanned += s;
+            }
+            Ok((next, scanned))
+        })
+        .collect::<Result<Vec<_>>>()?;
+
+    let mut next = Vec::new();
+    let mut scanned_edges = 0u64;
+    for (n, s) in per_domain {
+        next.extend(n);
+        scanned_edges += s;
+    }
+    Ok(TopDownOutput {
+        next,
+        scanned_edges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{new_parent_array, snapshot_parents};
+    use sembfs_csr::{build_csr, BuildOptions, DramForwardGraph};
+    use sembfs_graph500::edge_list::MemEdgeList;
+    use sembfs_graph500::INVALID_PARENT;
+    use sembfs_numa::RangePartition;
+
+    fn forward(edges: Vec<(u32, u32)>, n: u64, domains: usize) -> DramForwardGraph {
+        let el = MemEdgeList::new(n, edges);
+        let csr = build_csr(&el, BuildOptions::default()).unwrap();
+        DramForwardGraph::from_csr(&csr, &RangePartition::new(n, domains))
+    }
+
+    #[test]
+    fn expands_one_level() {
+        // Star: 0 connected to 1..=4.
+        let g = forward(vec![(0, 1), (0, 2), (0, 3), (0, 4)], 5, 2);
+        let parent = new_parent_array(5, 0);
+        let visited = AtomicBitmap::new(5);
+        visited.set(0);
+
+        let out = top_down_step(&g, &[0], &parent, &visited, 64, &NeighborCtx::dram).unwrap();
+        let mut next = out.next.clone();
+        next.sort_unstable();
+        assert_eq!(next, vec![1, 2, 3, 4]);
+        assert_eq!(out.scanned_edges, 4);
+        let snap = snapshot_parents(&parent);
+        assert_eq!(&snap[1..], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn already_visited_not_reclaimed() {
+        let g = forward(vec![(0, 1), (1, 2)], 3, 1);
+        let parent = new_parent_array(3, 0);
+        let visited = AtomicBitmap::new(3);
+        visited.set(0);
+        visited.set(2); // pretend 2 was found earlier
+        parent[2].store(99, Ordering::Relaxed);
+
+        let out = top_down_step(&g, &[0], &parent, &visited, 64, &NeighborCtx::dram).unwrap();
+        assert_eq!(out.next, vec![1]);
+        // 2's parent untouched.
+        assert_eq!(parent[2].load(Ordering::Relaxed), 99);
+    }
+
+    #[test]
+    fn scanned_counts_all_frontier_edges() {
+        // Triangle 0-1-2 plus leaf 3 on 0.
+        let g = forward(vec![(0, 1), (1, 2), (2, 0), (0, 3)], 4, 2);
+        let parent = new_parent_array(4, 0);
+        let visited = AtomicBitmap::new(4);
+        visited.set(0);
+        let out = top_down_step(&g, &[0], &parent, &visited, 2, &NeighborCtx::dram).unwrap();
+        // Frontier {0} has degree 3 (1, 2, 3).
+        assert_eq!(out.scanned_edges, 3);
+        assert_eq!(out.next.len(), 3);
+    }
+
+    #[test]
+    fn each_vertex_claimed_once_under_contention() {
+        // Complete-ish bipartite blob: many frontier vertices all pointing
+        // at the same targets — exactly one parent must win per target.
+        let mut edges = Vec::new();
+        for u in 0..32u32 {
+            for w in 32..64u32 {
+                edges.push((u, w));
+            }
+        }
+        let g = forward(edges, 64, 4);
+        let parent = new_parent_array(64, 0);
+        let visited = AtomicBitmap::new(64);
+        let frontier: Vec<u32> = (0..32).collect();
+        for &v in &frontier {
+            visited.set(v);
+        }
+        let out = top_down_step(&g, &frontier, &parent, &visited, 4, &NeighborCtx::dram).unwrap();
+        let mut next = out.next.clone();
+        next.sort_unstable();
+        assert_eq!(next, (32..64).collect::<Vec<u32>>());
+        let snap = snapshot_parents(&parent);
+        for w in 32..64 {
+            let p = snap[w as usize];
+            assert!(p < 32, "vertex {w} got parent {p}");
+        }
+        assert_eq!(out.scanned_edges, 32 * 32);
+    }
+
+    #[test]
+    fn empty_frontier_is_a_noop() {
+        let g = forward(vec![(0, 1)], 2, 1);
+        let parent = new_parent_array(2, 0);
+        let visited = AtomicBitmap::new(2);
+        let out = top_down_step(&g, &[], &parent, &visited, 64, &NeighborCtx::dram).unwrap();
+        assert!(out.next.is_empty());
+        assert_eq!(out.scanned_edges, 0);
+        assert_eq!(snapshot_parents(&parent)[1], INVALID_PARENT);
+    }
+}

@@ -1,0 +1,67 @@
+//! The BFS tree and status-data sizing.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::{VertexId, INVALID_PARENT};
+
+/// Allocate a parent array with every vertex unvisited and `root` its own
+/// parent (the Graph500 convention).
+pub fn new_parent_array(n: u64, root: VertexId) -> Vec<AtomicU32> {
+    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(INVALID_PARENT)).collect();
+    parent[root as usize].store(root, Ordering::Relaxed);
+    parent
+}
+
+/// Snapshot an atomic parent array into a plain vector (end of BFS).
+pub fn snapshot_parents(parent: &[AtomicU32]) -> Vec<VertexId> {
+    parent.iter().map(|p| p.load(Ordering::Relaxed)).collect()
+}
+
+/// Size in bytes of the BFS status data for an `n`-vertex graph on an
+/// `ℓ`-domain topology — the "BFS Status Data" rows of Table II and
+/// Fig. 3: the parent tree (`4n`), the visited bitmap (`n/8`), the
+/// frontier and next bitmaps (`n/8` each), and the per-domain top-down
+/// queues (worst case one entry per vertex, `4n` total).
+pub fn status_data_bytes(n: u64, _domains: usize) -> u64 {
+    let tree = 4 * n;
+    let bitmaps = 3 * n.div_ceil(8);
+    let queues = 4 * n;
+    tree + bitmaps + queues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parent_array_initial_state() {
+        let p = new_parent_array(5, 2);
+        let snap = snapshot_parents(&p);
+        assert_eq!(
+            snap,
+            vec![
+                INVALID_PARENT,
+                INVALID_PARENT,
+                2,
+                INVALID_PARENT,
+                INVALID_PARENT
+            ]
+        );
+    }
+
+    #[test]
+    fn snapshot_reflects_stores() {
+        let p = new_parent_array(3, 0);
+        p[1].store(0, Ordering::Relaxed);
+        assert_eq!(snapshot_parents(&p), vec![0, 0, INVALID_PARENT]);
+    }
+
+    #[test]
+    fn status_size_scales_linearly() {
+        let a = status_data_bytes(1 << 20, 4);
+        let b = status_data_bytes(1 << 21, 4);
+        assert_eq!(b, 2 * a);
+        // 8n + 3n/8 ≈ 8.375 bytes per vertex.
+        assert_eq!(a, 8 * (1 << 20) + 3 * ((1 << 20) / 8));
+    }
+}

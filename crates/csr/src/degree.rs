@@ -1,0 +1,99 @@
+//! Degree statistics for analysis figures.
+//!
+//! The paper's degradation analysis (§VI-C, Fig. 11) is driven by the
+//! *average degree* of vertices expanded per level — first top-down levels
+//! touch hubs (≈11 183 average degree), last levels touch degree-1 leaves.
+//! These helpers summarize degree distributions for that analysis and for
+//! sizing reports.
+
+use crate::graph::CsrGraph;
+
+/// Summary of a graph's degree distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: u64,
+    /// Maximum degree.
+    pub max: u64,
+    /// Mean degree.
+    pub mean: f64,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated: u64,
+    /// Histogram over power-of-two buckets: `buckets[i]` counts vertices
+    /// with degree in `[2^i, 2^(i+1))`; bucket 0 also counts degree 1.
+    pub log2_buckets: Vec<u64>,
+}
+
+impl DegreeStats {
+    /// Compute statistics over all vertices of `csr`.
+    pub fn from_csr(csr: &CsrGraph) -> Self {
+        let n = csr.num_vertices();
+        assert!(n > 0, "degree stats need at least one vertex");
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        let mut sum = 0u64;
+        let mut isolated = 0u64;
+        let mut log2_buckets = vec![0u64; 33];
+        for v in 0..n {
+            let d = csr.degree(v as u32);
+            min = min.min(d);
+            max = max.max(d);
+            sum += d;
+            if d == 0 {
+                isolated += 1;
+            } else {
+                log2_buckets[d.ilog2() as usize] += 1;
+            }
+        }
+        while log2_buckets.len() > 1 && *log2_buckets.last().unwrap() == 0 {
+            log2_buckets.pop();
+        }
+        Self {
+            min,
+            max,
+            mean: sum as f64 / n as f64,
+            isolated,
+            log2_buckets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_distribution() {
+        // Degrees: 3, 1, 1, 1, 0.
+        let csr = CsrGraph::from_adjacency(&[vec![1, 2, 3], vec![0], vec![0], vec![0], vec![]]);
+        let s = DegreeStats::from_csr(&csr);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 3);
+        assert_eq!(s.isolated, 1);
+        assert!((s.mean - 1.2).abs() < 1e-12);
+        // Bucket 0 (degree 1): three vertices; bucket 1 (degree 2..3): one.
+        assert_eq!(s.log2_buckets[0], 3);
+        assert_eq!(s.log2_buckets[1], 1);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let csr = CsrGraph::from_adjacency(&[vec![]]);
+        let s = DegreeStats::from_csr(&csr);
+        assert_eq!(s.isolated, 1);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn hub_lands_in_high_bucket() {
+        let adj = vec![(0..64).collect::<Vec<u32>>()];
+        let mut all = adj;
+        for _ in 0..64 {
+            all.push(vec![0]);
+        }
+        let csr = CsrGraph::from_adjacency(&all);
+        let s = DegreeStats::from_csr(&csr);
+        assert_eq!(s.max, 64);
+        assert_eq!(s.log2_buckets[6], 1); // degree 64 → bucket 6
+    }
+}

@@ -1,0 +1,418 @@
+//! The forward graph: destination-partitioned CSR for the top-down phase.
+//!
+//! Per §V-B2 / Fig. 6, each vertex's neighbor list is split by the NUMA
+//! domain owning the *destination* vertex: domain `k` holds a CSR over all
+//! `n` source vertices whose values are only the neighbors inside `k`'s
+//! vertex range. A thread bound to domain `k` expands frontier vertices
+//! against `k`'s sub-CSR exclusively, so all `tree`/bitmap writes stay
+//! domain-local (the frontier itself is conceptually duplicated per
+//! domain).
+//!
+//! [`DramForwardGraph`] keeps the per-domain CSRs in DRAM (the *DRAM-only*
+//! scenario); [`ExtForwardGraph`] reads them from index/value files —
+//! "twice as many files as the number of NUMA nodes" (§V-B2) — through any
+//! [`ReadAt`] store, typically a metered
+//! [`NvmStore`](sembfs_semext::NvmStore).
+
+use std::path::{Path, PathBuf};
+
+use rayon::prelude::*;
+use sembfs_numa::RangePartition;
+use sembfs_semext::ext_csr::{write_csr_files, ExtCsr};
+use sembfs_semext::{ReadAt, Result};
+
+use crate::graph::CsrGraph;
+use crate::neighbors::{DomainNeighbors, NeighborCtx};
+use crate::VertexId;
+
+/// Forward graph in DRAM: one destination-filtered CSR per domain.
+#[derive(Debug, Clone)]
+pub struct DramForwardGraph {
+    domains: Vec<CsrGraph>,
+    partition: RangePartition,
+}
+
+impl DramForwardGraph {
+    /// Build from a full undirected CSR by splitting every adjacency list
+    /// by destination domain (parallel over vertices).
+    pub fn from_csr(csr: &CsrGraph, partition: &RangePartition) -> Self {
+        let n = csr.num_vertices() as usize;
+        let l = partition.num_domains();
+        assert_eq!(partition.num_vertices(), csr.num_vertices());
+
+        // Per-domain degree of each vertex (no atomics: one writer per v).
+        let mut counts: Vec<Vec<u32>> = (0..l).map(|_| vec![0u32; n]).collect();
+        {
+            // Count in parallel over vertices, writing column v of each
+            // domain row; transpose-free via per-vertex local counting.
+            let counts_cols: Vec<Vec<u32>> = (0..n)
+                .into_par_iter()
+                .map(|v| {
+                    let mut local = vec![0u32; l];
+                    for &w in csr.neighbors(v as VertexId) {
+                        local[partition.domain_of(w as u64)] += 1;
+                    }
+                    local
+                })
+                .collect();
+            for (v, local) in counts_cols.iter().enumerate() {
+                for (k, &c) in local.iter().enumerate() {
+                    counts[k][v] = c;
+                }
+            }
+        }
+
+        let domains: Vec<CsrGraph> = (0..l)
+            .into_par_iter()
+            .map(|k| {
+                let mut index = Vec::with_capacity(n + 1);
+                index.push(0u64);
+                let mut acc = 0u64;
+                for &c in &counts[k][..n] {
+                    acc += c as u64;
+                    index.push(acc);
+                }
+                let mut values = vec![0 as VertexId; acc as usize];
+                // Fill per vertex into disjoint ranges.
+                let mut slices: Vec<&mut [VertexId]> = Vec::with_capacity(n);
+                let mut rest = values.as_mut_slice();
+                for v in 0..n {
+                    let len = (index[v + 1] - index[v]) as usize;
+                    let (head, tail) = rest.split_at_mut(len);
+                    slices.push(head);
+                    rest = tail;
+                }
+                slices.par_iter_mut().enumerate().for_each(|(v, out)| {
+                    let mut pos = 0;
+                    for &w in csr.neighbors(v as VertexId) {
+                        if partition.domain_of(w as u64) == k {
+                            out[pos] = w;
+                            pos += 1;
+                        }
+                    }
+                    debug_assert_eq!(pos, out.len());
+                });
+                CsrGraph::new(index, values)
+            })
+            .collect();
+
+        Self {
+            domains,
+            partition: partition.clone(),
+        }
+    }
+
+    /// The partition the graph was built with.
+    pub fn partition(&self) -> &RangePartition {
+        &self.partition
+    }
+
+    /// Domain `k`'s sub-CSR.
+    pub fn domain(&self, k: usize) -> &CsrGraph {
+        &self.domains[k]
+    }
+
+    /// Write the per-domain CSRs as `fg-<k>.index` / `fg-<k>.values` files
+    /// in `dir` ("offload the constructed forward graph to NVM", §V-A).
+    /// Returns the per-domain file paths.
+    pub fn write_to_dir(&self, dir: impl AsRef<Path>) -> Result<Vec<(PathBuf, PathBuf)>> {
+        let dir = dir.as_ref();
+        let mut paths = Vec::with_capacity(self.domains.len());
+        for (k, g) in self.domains.iter().enumerate() {
+            let ip = dir.join(format!("fg-{k}.index"));
+            let vp = dir.join(format!("fg-{k}.values"));
+            write_csr_files(&ip, &vp, g.index(), g.values())?;
+            paths.push((ip, vp));
+        }
+        Ok(paths)
+    }
+}
+
+impl DomainNeighbors for DramForwardGraph {
+    fn num_domains(&self) -> usize {
+        self.domains.len()
+    }
+
+    fn num_vertices(&self) -> u64 {
+        self.partition.num_vertices()
+    }
+
+    fn num_values(&self) -> u64 {
+        self.domains.iter().map(CsrGraph::num_values).sum()
+    }
+
+    fn byte_size(&self) -> u64 {
+        self.domains.iter().map(CsrGraph::byte_size).sum()
+    }
+
+    fn with_neighbors<R>(
+        &self,
+        k: usize,
+        v: VertexId,
+        _ctx: &mut NeighborCtx,
+        f: impl FnOnce(&[VertexId]) -> R,
+    ) -> Result<R> {
+        Ok(f(self.domains[k].neighbors(v)))
+    }
+}
+
+/// Forward graph on (semi-)external memory: one [`ExtCsr`] per domain.
+#[derive(Debug)]
+pub struct ExtForwardGraph<R> {
+    domains: Vec<ExtCsr<R>>,
+    partition: RangePartition,
+}
+
+impl<R: ReadAt> ExtForwardGraph<R> {
+    /// Assemble from per-domain external CSRs (one per partition domain).
+    ///
+    /// # Panics
+    /// Panics when the domain count or vertex counts are inconsistent.
+    pub fn new(domains: Vec<ExtCsr<R>>, partition: RangePartition) -> Self {
+        assert_eq!(domains.len(), partition.num_domains(), "one CSR per domain");
+        for d in &domains {
+            assert_eq!(
+                d.num_vertices(),
+                partition.num_vertices(),
+                "every domain CSR spans all source vertices"
+            );
+        }
+        Self { domains, partition }
+    }
+
+    /// The partition the graph was built with.
+    pub fn partition(&self) -> &RangePartition {
+        &self.partition
+    }
+
+    /// Domain `k`'s external CSR.
+    pub fn domain(&self, k: usize) -> &ExtCsr<R> {
+        &self.domains[k]
+    }
+
+    /// Pin every domain's index array in DRAM (ablation knob; the paper's
+    /// baseline reads indices from NVM).
+    pub fn with_dram_index(self) -> Result<Self> {
+        let domains = self
+            .domains
+            .into_iter()
+            .map(ExtCsr::with_dram_index)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            domains,
+            partition: self.partition,
+        })
+    }
+}
+
+impl<R: ReadAt> DomainNeighbors for ExtForwardGraph<R> {
+    fn num_domains(&self) -> usize {
+        self.domains.len()
+    }
+
+    fn num_vertices(&self) -> u64 {
+        self.partition.num_vertices()
+    }
+
+    fn num_values(&self) -> u64 {
+        self.domains.iter().map(ExtCsr::num_values).sum()
+    }
+
+    fn byte_size(&self) -> u64 {
+        self.domains.iter().map(ExtCsr::byte_size).sum()
+    }
+
+    fn with_neighbors<R2>(
+        &self,
+        k: usize,
+        v: VertexId,
+        ctx: &mut NeighborCtx,
+        f: impl FnOnce(&[VertexId]) -> R2,
+    ) -> Result<R2> {
+        let NeighborCtx {
+            reader,
+            buf,
+            scratch,
+            ..
+        } = ctx;
+        self.domains[k].read_neighbors(v as u64, reader, buf, scratch)?;
+        Ok(f(buf))
+    }
+
+    fn with_neighbors_batch(
+        &self,
+        k: usize,
+        vs: &[VertexId],
+        ctx: &mut NeighborCtx,
+        f: &mut dyn FnMut(VertexId, &[VertexId]),
+    ) -> Result<()> {
+        if !ctx.aggregate {
+            for &v in vs {
+                self.with_neighbors(k, v, ctx, |ns| f(v, ns))?;
+            }
+            return Ok(());
+        }
+        // §VI-D aggregation: one batched submission for the whole dequeue
+        // batch (the paper dequeues 64 vertices at a time, §V-C).
+        ctx.scratch.clear();
+        let ids: Vec<u64> = vs.iter().map(|&v| v as u64).collect();
+        self.domains[k].read_neighbors_batch(&ids, &ctx.reader, &mut ctx.batch)?;
+        for (i, &v) in vs.iter().enumerate() {
+            f(v, &ctx.batch.outs[i]);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_csr, BuildOptions};
+    use sembfs_graph500::edge_list::MemEdgeList;
+    use sembfs_graph500::KroneckerParams;
+    use sembfs_semext::{FileBackend, TempDir};
+
+    fn sample() -> (CsrGraph, RangePartition) {
+        // 8 vertices, 2 domains: [0..4) and [4..8).
+        let el = MemEdgeList::new(
+            8,
+            vec![
+                (0, 1),
+                (0, 4),
+                (0, 7),
+                (1, 5),
+                (2, 3),
+                (4, 5),
+                (6, 7),
+                (3, 4),
+            ],
+        );
+        let csr = build_csr(&el, BuildOptions::default()).unwrap();
+        (csr, RangePartition::new(8, 2))
+    }
+
+    #[test]
+    fn domain_split_covers_all_neighbors() {
+        let (csr, part) = sample();
+        let fg = DramForwardGraph::from_csr(&csr, &part);
+        assert_eq!(fg.num_values(), csr.num_values());
+        let mut ctx = NeighborCtx::dram();
+        for v in 0..8u32 {
+            let mut combined: Vec<u32> = Vec::new();
+            for k in 0..2 {
+                fg.with_neighbors(k, v, &mut ctx, |ns| {
+                    // Every neighbor must belong to domain k.
+                    for &w in ns {
+                        assert_eq!(part.domain_of(w as u64), k, "v {v} w {w}");
+                    }
+                    combined.extend_from_slice(ns);
+                })
+                .unwrap();
+            }
+            let mut expect = csr.neighbors(v).to_vec();
+            expect.sort_unstable();
+            combined.sort_unstable();
+            assert_eq!(combined, expect, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn byte_size_exceeds_plain_csr_due_to_duplicated_index() {
+        // The paper notes the forward graph is larger than the backward
+        // graph: the index array is replicated per domain.
+        let (csr, part) = sample();
+        let fg = DramForwardGraph::from_csr(&csr, &part);
+        assert!(fg.byte_size() > csr.byte_size());
+        assert_eq!(
+            fg.byte_size(),
+            csr.values().len() as u64 * 4 + 2 * (csr.num_vertices() + 1) * 8
+        );
+    }
+
+    #[test]
+    fn external_matches_dram() {
+        let p = KroneckerParams::graph500(8, 21);
+        let el = p.generate();
+        let csr = build_csr(&el, BuildOptions::default()).unwrap();
+        let part = RangePartition::new(csr.num_vertices(), 4);
+        let fg = DramForwardGraph::from_csr(&csr, &part);
+
+        let dir = TempDir::new("fwd-ext").unwrap();
+        let paths = fg.write_to_dir(dir.path()).unwrap();
+        assert_eq!(paths.len(), 4); // 2·ℓ files total, ℓ pairs
+
+        let ext = ExtForwardGraph::new(
+            paths
+                .iter()
+                .map(|(ip, vp)| {
+                    ExtCsr::new(
+                        FileBackend::open(ip).unwrap(),
+                        FileBackend::open(vp).unwrap(),
+                    )
+                    .unwrap()
+                })
+                .collect(),
+            part.clone(),
+        );
+        assert_eq!(ext.num_values(), fg.num_values());
+        assert_eq!(ext.byte_size(), fg.byte_size());
+
+        let mut dctx = NeighborCtx::dram();
+        let mut ectx = NeighborCtx::dram();
+        for v in (0..csr.num_vertices() as u32).step_by(17) {
+            for k in 0..4 {
+                let a = fg
+                    .with_neighbors(k, v, &mut dctx, |ns| ns.to_vec())
+                    .unwrap();
+                let b = ext
+                    .with_neighbors(k, v, &mut ectx, |ns| ns.to_vec())
+                    .unwrap();
+                assert_eq!(a, b, "v {v} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn dram_index_variant_agrees() {
+        let (csr, part) = sample();
+        let fg = DramForwardGraph::from_csr(&csr, &part);
+        let dir = TempDir::new("fwd-idx").unwrap();
+        let paths = fg.write_to_dir(dir.path()).unwrap();
+        let ext = ExtForwardGraph::new(
+            paths
+                .iter()
+                .map(|(ip, vp)| {
+                    ExtCsr::new(
+                        FileBackend::open(ip).unwrap(),
+                        FileBackend::open(vp).unwrap(),
+                    )
+                    .unwrap()
+                })
+                .collect(),
+            part,
+        )
+        .with_dram_index()
+        .unwrap();
+        let mut ctx = NeighborCtx::dram();
+        let deg: u64 = (0..8u32)
+            .map(|v| {
+                (0..2)
+                    .map(|k| ext.domain_degree(k, v, &mut ctx).unwrap())
+                    .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(deg, csr.num_values());
+    }
+
+    #[test]
+    fn single_domain_forward_is_the_whole_graph() {
+        let (csr, _) = sample();
+        let part = RangePartition::new(8, 1);
+        let fg = DramForwardGraph::from_csr(&csr, &part);
+        let mut ctx = NeighborCtx::dram();
+        for v in 0..8u32 {
+            let ns = fg.with_neighbors(0, v, &mut ctx, |ns| ns.to_vec()).unwrap();
+            assert_eq!(ns, csr.neighbors(v));
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! The distributed hybrid BFS (Beamer et al., MTAAP'13, on the simulated
+//! cluster).
+//!
+//! Level-synchronous with two communication patterns:
+//!
+//! * **top-down**: owners of frontier vertices expand locally and send
+//!   `(child, parent)` claims to each child's owner (an all-to-all of
+//!   8-byte pairs); owners apply claims first-wins.
+//! * **bottom-up**: one allgather replicates the frontier bitmap
+//!   (`n/8 · (p−1)` bytes, `⌈log₂ p⌉` rounds), then every node probes its
+//!   local unvisited vertices with early termination, no per-edge
+//!   communication — the property that made bottom-up attractive for
+//!   distributed memory in the first place.
+//!
+//! Nodes execute one after another on the host; the simulated level time
+//! is the **maximum** node time plus the modeled network phase, which is
+//! what a synchronous cluster would observe.
+
+use std::time::{Duration, Instant};
+
+use sembfs_core::policy::{DirectionPolicy, PolicyCtx};
+use sembfs_core::Direction;
+use sembfs_semext::Result;
+
+use crate::cluster::DistGraph;
+use crate::network::NetStats;
+use crate::{VertexId, INVALID_PARENT};
+
+/// Per-level measurements of the distributed search.
+#[derive(Debug, Clone)]
+pub struct DistLevelStats {
+    /// Level number (1 = first expansion).
+    pub level: u32,
+    /// Direction of the level.
+    pub direction: Direction,
+    /// Global frontier size consumed.
+    pub frontier_size: u64,
+    /// Vertices discovered.
+    pub discovered: u64,
+    /// Edges examined across all nodes.
+    pub scanned_edges: u64,
+    /// Simulated level time: `max_k(compute_k) + network`.
+    pub sim_time: Duration,
+    /// The level's network share of `sim_time`.
+    pub net_time: Duration,
+    /// Bytes exchanged this level.
+    pub net_bytes: u64,
+    /// Slowest node's compute time this level.
+    pub max_node_compute: Duration,
+}
+
+/// Result of a distributed BFS.
+#[derive(Debug, Clone)]
+pub struct DistBfsRun {
+    /// Global parent array.
+    pub parent: Vec<VertexId>,
+    /// Per-level measurements.
+    pub levels: Vec<DistLevelStats>,
+    /// Vertices reached (including the root).
+    pub visited: u64,
+    /// Undirected edges in the traversed component (TEPS numerator).
+    pub teps_edges: u64,
+    /// Total simulated wall time.
+    pub sim_elapsed: Duration,
+    /// Aggregate traffic.
+    pub net: NetStats,
+}
+
+impl DistBfsRun {
+    /// Simulated TEPS.
+    pub fn sim_teps(&self) -> f64 {
+        let s = self.sim_elapsed.as_secs_f64();
+        if s > 0.0 {
+            self.teps_edges as f64 / s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A plain (single-writer-per-level) bitmap over all vertices.
+struct Bitmap {
+    words: Vec<u64>,
+}
+
+impl Bitmap {
+    fn new(n: u64) -> Self {
+        Self {
+            words: vec![0; n.div_ceil(64) as usize],
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: VertexId) -> bool {
+        self.words[i as usize / 64] & (1 << (i % 64)) != 0
+    }
+
+    #[inline]
+    fn set(&mut self, i: VertexId) {
+        self.words[i as usize / 64] |= 1 << (i % 64);
+    }
+
+    fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    fn byte_size(&self) -> u64 {
+        self.words.len() as u64 * 8
+    }
+}
+
+/// Run the distributed hybrid BFS from `root` under `policy`.
+pub fn dist_hybrid_bfs(
+    graph: &DistGraph,
+    root: VertexId,
+    policy: &dyn DirectionPolicy,
+) -> Result<DistBfsRun> {
+    let n = graph.num_vertices();
+    assert!((root as u64) < n, "root out of range");
+    let p = graph.num_nodes();
+
+    let mut parent: Vec<VertexId> = vec![INVALID_PARENT; n as usize];
+    parent[root as usize] = root;
+    let mut visited = Bitmap::new(n);
+    visited.set(root);
+
+    // Frontier: per-node local queues (top-down) or a global bitmap
+    // replica (bottom-up) — on a real cluster the queue entries live at
+    // their owners and the bitmap is the allgathered replica.
+    let mut queues: Vec<Vec<VertexId>> = vec![Vec::new(); p];
+    queues[graph.owner(root)].push(root);
+    let mut front_bm = Bitmap::new(n);
+    let mut next_bm = Bitmap::new(n);
+    let mut bitmap_current = false;
+
+    let mut levels = Vec::new();
+    let mut net = NetStats::default();
+    let mut direction = Direction::TopDown;
+    let mut prev_frontier = 0u64;
+    let mut frontier_size = 1u64;
+    let mut visited_count = 1u64;
+    let mut level = 1u32;
+    let mut sim_elapsed = Duration::ZERO;
+
+    let (mut buf, mut scratch) = (Vec::new(), Vec::new());
+    let mut outboxes: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); p];
+
+    while frontier_size > 0 {
+        let decided = policy.decide(&PolicyCtx {
+            current: direction,
+            level,
+            n_all: n,
+            frontier: frontier_size,
+            prev_frontier,
+            frontier_edges: None,
+            unvisited: n - visited_count,
+        });
+        // Representation conversion at switches.
+        match decided {
+            Direction::TopDown if bitmap_current => {
+                for q in &mut queues {
+                    q.clear();
+                }
+                for (wi, &word) in front_bm.words.iter().enumerate() {
+                    let mut w = word;
+                    while w != 0 {
+                        let bit = w.trailing_zeros();
+                        w &= w - 1;
+                        let v = (wi * 64) as u64 + bit as u64;
+                        if v < n {
+                            queues[graph.owner(v as VertexId)].push(v as VertexId);
+                        }
+                    }
+                }
+                bitmap_current = false;
+            }
+            Direction::BottomUp if !bitmap_current => {
+                front_bm.clear();
+                for q in &queues {
+                    for &v in q {
+                        front_bm.set(v);
+                    }
+                }
+                // The conversion itself is local (owners set their bits);
+                // the allgather below shares it.
+                bitmap_current = true;
+            }
+            _ => {}
+        }
+        direction = decided;
+
+        let mut scanned = 0u64;
+        let mut discovered = 0u64;
+        let mut max_compute = Duration::ZERO;
+        let mut net_bytes = 0u64;
+        let net_time;
+
+        match direction {
+            Direction::TopDown => {
+                // Expand phase, one node at a time (simulated parallel).
+                for (k, queue) in queues.iter().enumerate() {
+                    let t0 = Instant::now();
+                    let range = graph.partition().range(k);
+                    for &v in queue {
+                        let row = v as u64 - range.start;
+                        graph
+                            .node(k)
+                            .with_neighbors(row, &mut buf, &mut scratch, |ns| {
+                                scanned += ns.len() as u64;
+                                for &w in ns {
+                                    // Cheap local pre-filter on the replica of
+                                    // the visited set (a real system filters
+                                    // with its local stale copy too; owners
+                                    // re-check on apply).
+                                    if parent[w as usize] == INVALID_PARENT {
+                                        outboxes[graph.owner(w)].push((w, v));
+                                    }
+                                }
+                            })?;
+                    }
+                    max_compute = max_compute.max(t0.elapsed());
+                }
+                // Exchange phase: all-to-all of claims. (Claims a node
+                // addresses to itself never hit the wire; since outboxes
+                // are keyed by destination and most claims cross the
+                // partition on a scrambled graph, we charge the full
+                // volume — the self-share is O(1/p).)
+                for outbox in outboxes.iter() {
+                    let bytes = outbox.len() as u64 * 8;
+                    if bytes > 0 {
+                        net.message(bytes);
+                        net_bytes += bytes;
+                    }
+                }
+                net_time = graph.spec().network.phase_time(net_bytes, 1);
+                // Apply phase at the owners.
+                let mut apply_max = Duration::ZERO;
+                for (k, q) in queues.iter_mut().enumerate() {
+                    q.clear();
+                    let t0 = Instant::now();
+                    for &(w, src) in &outboxes[k] {
+                        if parent[w as usize] == INVALID_PARENT {
+                            parent[w as usize] = src;
+                            visited.set(w);
+                            q.push(w);
+                            discovered += 1;
+                        }
+                    }
+                    apply_max = apply_max.max(t0.elapsed());
+                }
+                max_compute += apply_max;
+                for outbox in &mut outboxes {
+                    outbox.clear();
+                }
+            }
+            Direction::BottomUp => {
+                // Allgather the frontier bitmap replica.
+                let gather_bytes = front_bm.byte_size() * (p as u64 - 1);
+                if gather_bytes > 0 {
+                    net.collective(gather_bytes);
+                    net_bytes += gather_bytes;
+                }
+                net_time = graph.spec().network.phase_time(
+                    gather_bytes,
+                    (p as u32).next_power_of_two().trailing_zeros().max(1),
+                );
+
+                next_bm.clear();
+                for k in 0..p {
+                    let t0 = Instant::now();
+                    let range = graph.partition().range(k);
+                    for v in range.clone() {
+                        let v = v as VertexId;
+                        if visited.get(v) {
+                            continue;
+                        }
+                        let row = v as u64 - range.start;
+                        // Bottom-up always probes the DRAM-resident copy
+                        // (the paper's layout, applied per node).
+                        let ns = graph.node(k).bu_neighbors(row);
+                        let mut found = None;
+                        for (i, &u) in ns.iter().enumerate() {
+                            if front_bm.get(u) {
+                                scanned += i as u64 + 1;
+                                found = Some(u);
+                                break;
+                            }
+                        }
+                        if found.is_none() {
+                            scanned += ns.len() as u64;
+                        }
+                        if let Some(u) = found {
+                            parent[v as usize] = u;
+                            visited.set(v);
+                            next_bm.set(v);
+                            discovered += 1;
+                        }
+                    }
+                    max_compute = max_compute.max(t0.elapsed());
+                }
+                std::mem::swap(&mut front_bm, &mut next_bm);
+            }
+        }
+
+        let sim_time = max_compute + net_time;
+        sim_elapsed += sim_time;
+        visited_count += discovered;
+        levels.push(DistLevelStats {
+            level,
+            direction,
+            frontier_size,
+            discovered,
+            scanned_edges: scanned,
+            sim_time,
+            net_time,
+            net_bytes,
+            max_node_compute: max_compute,
+        });
+        prev_frontier = frontier_size;
+        frontier_size = discovered;
+        level += 1;
+    }
+
+    // TEPS edge accounting from global degrees.
+    let teps_edges = (0..n as usize)
+        .filter(|&v| parent[v] != INVALID_PARENT)
+        .map(|v| graph.degree(v as VertexId))
+        .sum::<u64>()
+        / 2;
+
+    Ok(DistBfsRun {
+        parent,
+        levels,
+        visited: visited_count,
+        teps_edges,
+        sim_elapsed,
+        net,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+    use sembfs_core::{AlphaBetaPolicy, FixedPolicy};
+    use sembfs_graph500::edge_list::MemEdgeList;
+    use sembfs_graph500::{select_roots, validate_bfs_tree, KroneckerParams};
+
+    fn kron(scale: u32, seed: u64) -> MemEdgeList {
+        KroneckerParams::graph500(scale, seed).generate()
+    }
+
+    #[test]
+    fn path_graph_all_nodes() {
+        let el = MemEdgeList::new(8, (0..7).map(|i| (i, i + 1)).collect());
+        let g = DistGraph::build(&el, ClusterSpec::dram(4)).unwrap();
+        let run = dist_hybrid_bfs(&g, 0, &AlphaBetaPolicy::new(1e3, 1e3)).unwrap();
+        assert_eq!(run.visited, 8);
+        assert_eq!(run.parent[7], 6);
+        validate_bfs_tree(&run.parent, 0, &el).unwrap();
+    }
+
+    #[test]
+    fn matches_single_node_levels_on_kronecker() {
+        let el = kron(10, 33);
+        let single = DistGraph::build(&el, ClusterSpec::dram(1)).unwrap();
+        let multi = DistGraph::build(&el, ClusterSpec::dram(4)).unwrap();
+        let roots = select_roots(single.num_vertices(), 2, 7, |v| single.degree(v));
+        for &root in &roots {
+            let a = dist_hybrid_bfs(&single, root, &AlphaBetaPolicy::new(1e4, 1e5)).unwrap();
+            let b = dist_hybrid_bfs(&multi, root, &AlphaBetaPolicy::new(1e4, 1e5)).unwrap();
+            let la = sembfs_graph500::validate::compute_levels(&a.parent, root).unwrap();
+            let lb = sembfs_graph500::validate::compute_levels(&b.parent, root).unwrap();
+            assert_eq!(la, lb, "root {root}");
+            assert_eq!(a.visited, b.visited);
+            validate_bfs_tree(&b.parent, root, &el).unwrap();
+        }
+    }
+
+    #[test]
+    fn fixed_directions_validate() {
+        let el = kron(9, 4);
+        let g = DistGraph::build(&el, ClusterSpec::dram(3)).unwrap();
+        let root = select_roots(g.num_vertices(), 1, 2, |v| g.degree(v))[0];
+        for policy in [
+            FixedPolicy(Direction::TopDown),
+            FixedPolicy(Direction::BottomUp),
+        ] {
+            let run = dist_hybrid_bfs(&g, root, &policy).unwrap();
+            validate_bfs_tree(&run.parent, root, &el).unwrap();
+            assert!(run.visited > 1);
+        }
+    }
+
+    #[test]
+    fn network_traffic_accounted() {
+        let el = kron(9, 8);
+        let mut spec = ClusterSpec::dram(4);
+        spec.network = crate::NetworkProfile::ten_gbe();
+        let g = DistGraph::build(&el, spec).unwrap();
+        let root = select_roots(g.num_vertices(), 1, 5, |v| g.degree(v))[0];
+        let run = dist_hybrid_bfs(&g, root, &AlphaBetaPolicy::new(1e4, 1e5)).unwrap();
+        assert!(run.net.bytes > 0, "multi-node run must communicate");
+        assert!(run.levels.iter().any(|l| l.net_time > Duration::ZERO));
+        // Bottom-up levels do collectives; top-down levels do messages.
+        if run
+            .levels
+            .iter()
+            .any(|l| l.direction == Direction::BottomUp)
+        {
+            assert!(run.net.collectives > 0);
+        }
+        assert!(run.sim_teps() > 0.0);
+    }
+
+    #[test]
+    fn single_node_has_no_traffic() {
+        let el = kron(9, 8);
+        let g = DistGraph::build(&el, ClusterSpec::dram(1)).unwrap();
+        let root = select_roots(g.num_vertices(), 1, 5, |v| g.degree(v))[0];
+        let run = dist_hybrid_bfs(&g, root, &AlphaBetaPolicy::new(1e4, 1e5)).unwrap();
+        assert_eq!(run.net.bytes, 0);
+        assert_eq!(run.net.messages, 0);
+    }
+
+    #[test]
+    fn nvm_cluster_validates_and_meters_devices() {
+        let el = kron(9, 12);
+        let mut spec = ClusterSpec::flash_cluster(2);
+        spec.delay_mode = sembfs_semext::DelayMode::Accounting;
+        let g = DistGraph::build(&el, spec).unwrap();
+        let root = select_roots(g.num_vertices(), 1, 3, |v| g.degree(v))[0];
+        let run = dist_hybrid_bfs(&g, root, &AlphaBetaPolicy::new(1e4, 1e5)).unwrap();
+        validate_bfs_tree(&run.parent, root, &el).unwrap();
+        let reqs: u64 = (0..2)
+            .map(|k| g.node(k).device().unwrap().snapshot().requests)
+            .sum();
+        assert!(reqs > 0, "node devices must have served reads");
+    }
+}
+
+#[cfg(test)]
+mod level_semantics_tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+    use sembfs_core::AlphaBetaPolicy;
+    use sembfs_graph500::edge_list::MemEdgeList;
+
+    /// Star-with-tail: 0-{1,2,3}, 3-4, 4-5 over 3 nodes of 2 vertices.
+    fn graph() -> DistGraph {
+        let el = MemEdgeList::new(6, vec![(0, 1), (0, 2), (0, 3), (3, 4), (4, 5)]);
+        DistGraph::build(&el, ClusterSpec::dram(3)).unwrap()
+    }
+
+    #[test]
+    fn level_stats_chain_consistently() {
+        let g = graph();
+        let run = dist_hybrid_bfs(&g, 0, &AlphaBetaPolicy::new(1e3, 1e3)).unwrap();
+        // Frontier sizes chain: each level's input is the prior's output.
+        let mut expect = 1;
+        for l in &run.levels {
+            assert_eq!(l.frontier_size, expect, "level {}", l.level);
+            expect = l.discovered;
+        }
+        assert_eq!(run.visited, 6);
+        // Simulated time covers every level.
+        let total: std::time::Duration = run.levels.iter().map(|l| l.sim_time).sum();
+        assert_eq!(total, run.sim_elapsed);
+    }
+
+    #[test]
+    fn top_down_traffic_is_claim_sized() {
+        let g = graph();
+        let run =
+            dist_hybrid_bfs(&g, 0, &sembfs_core::FixedPolicy(Direction::TopDown)).unwrap();
+        // Every message byte is an 8-byte (child, parent) claim.
+        assert_eq!(run.net.bytes % 8, 0);
+        assert_eq!(run.net.collectives, 0, "pure top-down never allgathers");
+    }
+
+    #[test]
+    fn bottom_up_traffic_is_bitmap_sized() {
+        let g = graph();
+        let run =
+            dist_hybrid_bfs(&g, 0, &sembfs_core::FixedPolicy(Direction::BottomUp)).unwrap();
+        assert_eq!(run.net.messages, 0, "pure bottom-up sends no claims");
+        assert!(run.net.collectives as usize >= run.levels.len());
+    }
+
+    #[test]
+    fn teps_edges_counts_component() {
+        let g = graph();
+        let run = dist_hybrid_bfs(&g, 0, &AlphaBetaPolicy::new(1e2, 1e2)).unwrap();
+        // 5 undirected edges, all inside the component.
+        assert_eq!(run.teps_edges, 5);
+    }
+}

@@ -1,0 +1,333 @@
+//! The simulated cluster and its per-node graph partitions.
+
+use std::sync::Arc;
+
+use sembfs_csr::{build_csr, BuildOptions, CsrGraph};
+use sembfs_graph500::edge_list::EdgeList;
+use sembfs_numa::RangePartition;
+use sembfs_semext::ext_csr::{write_csr_files, ExtCsr};
+use sembfs_semext::{
+    ChunkedReader, DelayMode, Device, DeviceProfile, FileBackend, NvmStore, Result, TempDir,
+};
+
+use crate::network::NetworkProfile;
+use crate::VertexId;
+
+/// Configuration of the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of nodes `p` (1-D vertex partition).
+    pub nodes: usize,
+    /// Interconnect model.
+    pub network: NetworkProfile,
+    /// When set, each node offloads its adjacency to its *own* simulated
+    /// device of this profile — the paper's technique applied per node.
+    pub node_nvm: Option<DeviceProfile>,
+    /// Whether node devices really delay (affects measured compute).
+    pub delay_mode: DelayMode,
+}
+
+impl ClusterSpec {
+    /// An all-DRAM cluster over an ideal network (pure algorithm study).
+    pub fn dram(nodes: usize) -> Self {
+        Self {
+            nodes,
+            network: NetworkProfile::ideal(),
+            node_nvm: None,
+            delay_mode: DelayMode::Accounting,
+        }
+    }
+
+    /// Every node carries a PCIe-flash model for its adjacency, talking
+    /// over InfiniBand — the scaled-out version of DRAM+PCIeFlash.
+    pub fn flash_cluster(nodes: usize) -> Self {
+        Self {
+            nodes,
+            network: NetworkProfile::infiniband_qdr(),
+            node_nvm: Some(DeviceProfile::iodrive2()),
+            delay_mode: DelayMode::Throttled,
+        }
+    }
+}
+
+/// Where a node keeps the adjacency of its local vertices
+/// (rows are indexed locally: row `i` is vertex `range.start + i`).
+///
+/// The NVM variant mirrors the paper's single-node layout per node: the
+/// **forward** copy (read by the top-down phase) lives on the node's
+/// device, while the **backward** copy (read by the latency-critical
+/// bottom-up probes) stays in the node's DRAM — §V-A applied at every
+/// node.
+#[derive(Debug)]
+pub enum NodeStorage {
+    /// Local adjacency in the node's DRAM (used by both phases).
+    Dram(CsrGraph),
+    /// Forward copy on the node's device; backward copy in DRAM.
+    Nvm {
+        /// The external forward CSR (index + values on the device).
+        forward: ExtCsr<NvmStore<FileBackend>>,
+        /// The DRAM-resident backward copy.
+        backward: CsrGraph,
+        /// The node's device.
+        device: Arc<Device>,
+        /// Matching chunk reader.
+        reader: ChunkedReader,
+    },
+}
+
+impl NodeStorage {
+    /// Visit the neighbors of local row `i` (global vertex IDs) on the
+    /// **top-down** path: reads the device when the forward copy is
+    /// offloaded.
+    pub fn with_neighbors<T>(
+        &self,
+        i: u64,
+        buf: &mut Vec<VertexId>,
+        scratch: &mut Vec<u8>,
+        f: impl FnOnce(&[VertexId]) -> T,
+    ) -> Result<T> {
+        match self {
+            NodeStorage::Dram(csr) => Ok(f(csr.neighbors(i as VertexId))),
+            NodeStorage::Nvm {
+                forward, reader, ..
+            } => {
+                forward.read_neighbors(i, reader, buf, scratch)?;
+                Ok(f(buf))
+            }
+        }
+    }
+
+    /// Neighbors of local row `i` on the **bottom-up** path: always DRAM
+    /// (the paper keeps the backward graph resident, §V-A).
+    pub fn bu_neighbors(&self, i: u64) -> &[VertexId] {
+        match self {
+            NodeStorage::Dram(csr) => csr.neighbors(i as VertexId),
+            NodeStorage::Nvm { backward, .. } => backward.neighbors(i as VertexId),
+        }
+    }
+
+    /// The node's device, when storage is external.
+    pub fn device(&self) -> Option<&Arc<Device>> {
+        match self {
+            NodeStorage::Dram(_) => None,
+            NodeStorage::Nvm { device, .. } => Some(device),
+        }
+    }
+
+    /// Local adjacency bytes held in DRAM.
+    pub fn dram_bytes(&self) -> u64 {
+        match self {
+            NodeStorage::Dram(csr) => csr.byte_size(),
+            NodeStorage::Nvm { backward, .. } => backward.byte_size(),
+        }
+    }
+
+    /// Local adjacency bytes held on the node's device.
+    pub fn nvm_bytes(&self) -> u64 {
+        match self {
+            NodeStorage::Dram(_) => 0,
+            NodeStorage::Nvm { forward, .. } => forward.byte_size(),
+        }
+    }
+}
+
+/// The partitioned graph: one storage per node plus global metadata.
+///
+/// ```
+/// use sembfs_dist::{dist_hybrid_bfs, ClusterSpec, DistGraph};
+/// use sembfs_core::AlphaBetaPolicy;
+/// use sembfs_graph500::edge_list::MemEdgeList;
+///
+/// let edges = MemEdgeList::new(8, (0..7).map(|i| (i, i + 1)).collect());
+/// let graph = DistGraph::build(&edges, ClusterSpec::dram(4)).unwrap();
+/// let run = dist_hybrid_bfs(&graph, 0, &AlphaBetaPolicy::new(1e3, 1e3)).unwrap();
+/// assert_eq!(run.visited, 8);
+/// assert!(run.net.bytes > 0); // frontier claims crossed node boundaries
+/// ```
+#[derive(Debug)]
+pub struct DistGraph {
+    spec: ClusterSpec,
+    partition: RangePartition,
+    nodes: Vec<NodeStorage>,
+    /// Global per-vertex degrees (measurement scaffolding for TEPS edge
+    /// accounting and root selection; a real cluster would keep its local
+    /// slice only).
+    degrees: Vec<u32>,
+    _tempdir: Option<TempDir>,
+}
+
+impl DistGraph {
+    /// Partition `edges` across the cluster (Graph500 Step 2, per node).
+    pub fn build(edges: &dyn EdgeList, spec: ClusterSpec) -> Result<Self> {
+        assert!(spec.nodes > 0, "cluster needs at least one node");
+        let full = build_csr(edges, BuildOptions::default())?;
+        let n = full.num_vertices();
+        let partition = RangePartition::new(n, spec.nodes);
+        let degrees: Vec<u32> = (0..n).map(|v| full.degree(v as VertexId) as u32).collect();
+
+        let tempdir = if spec.node_nvm.is_some() {
+            Some(TempDir::new("dist")?)
+        } else {
+            None
+        };
+
+        let mut nodes = Vec::with_capacity(spec.nodes);
+        for k in 0..spec.nodes {
+            let range = partition.range(k);
+            // Slice the node's rows out of the full CSR, re-based to 0.
+            let base = full.index()[range.start as usize];
+            let end = full.index()[range.end as usize];
+            let local_index: Vec<u64> = full.index()[range.start as usize..=range.end as usize]
+                .iter()
+                .map(|&off| off - base)
+                .collect();
+            let local_values = full.values()[base as usize..end as usize].to_vec();
+            let local = CsrGraph::new(local_index, local_values);
+
+            match (&spec.node_nvm, &tempdir) {
+                (Some(profile), Some(dir)) => {
+                    let ip = dir.path().join(format!("node-{k}.index"));
+                    let vp = dir.path().join(format!("node-{k}.values"));
+                    write_csr_files(&ip, &vp, local.index(), local.values())?;
+                    let device = Device::new(profile.clone(), spec.delay_mode);
+                    let reader = ChunkedReader::for_device(&device);
+                    let forward = ExtCsr::new(
+                        NvmStore::new(FileBackend::open(&ip)?, device.clone()),
+                        NvmStore::new(FileBackend::open(&vp)?, device.clone()),
+                    )?;
+                    nodes.push(NodeStorage::Nvm {
+                        forward,
+                        backward: local,
+                        device,
+                        reader,
+                    });
+                }
+                _ => nodes.push(NodeStorage::Dram(local)),
+            }
+        }
+        Ok(Self {
+            spec,
+            partition,
+            nodes,
+            degrees,
+            _tempdir: tempdir,
+        })
+    }
+
+    /// The cluster configuration.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// The vertex partition (node `k` owns `partition.range(k)`).
+    pub fn partition(&self) -> &RangePartition {
+        &self.partition
+    }
+
+    /// Number of nodes `p`.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of vertices `n`.
+    pub fn num_vertices(&self) -> u64 {
+        self.partition.num_vertices()
+    }
+
+    /// Node `k`'s storage.
+    pub fn node(&self, k: usize) -> &NodeStorage {
+        &self.nodes[k]
+    }
+
+    /// Owner node of vertex `v`.
+    #[inline]
+    pub fn owner(&self, v: VertexId) -> usize {
+        self.partition.domain_of(v as u64)
+    }
+
+    /// Degree of vertex `v` (global metadata).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u64 {
+        self.degrees[v as usize] as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sembfs_graph500::edge_list::MemEdgeList;
+    use sembfs_graph500::KroneckerParams;
+
+    fn sample() -> MemEdgeList {
+        MemEdgeList::new(8, vec![(0, 1), (1, 5), (2, 6), (3, 7), (4, 5), (6, 7)])
+    }
+
+    #[test]
+    fn partitions_rows_correctly() {
+        let g = DistGraph::build(&sample(), ClusterSpec::dram(2)).unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.partition().range(0), 0..4);
+        // Vertex 1's neighbors are {0, 5}; it is row 1 of node 0.
+        let (mut buf, mut scratch) = (Vec::new(), Vec::new());
+        let mut ns = g
+            .node(0)
+            .with_neighbors(1, &mut buf, &mut scratch, |ns| ns.to_vec())
+            .unwrap();
+        ns.sort_unstable();
+        assert_eq!(ns, vec![0, 5]);
+        // Vertex 6 is row 2 of node 1, neighbors {2, 7}.
+        let mut ns = g
+            .node(1)
+            .with_neighbors(2, &mut buf, &mut scratch, |ns| ns.to_vec())
+            .unwrap();
+        ns.sort_unstable();
+        assert_eq!(ns, vec![2, 7]);
+    }
+
+    #[test]
+    fn degrees_are_global() {
+        let g = DistGraph::build(&sample(), ClusterSpec::dram(3)).unwrap();
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(5), 2);
+        assert_eq!(g.owner(7), 2);
+    }
+
+    #[test]
+    fn nvm_nodes_have_devices_and_match_dram() {
+        let el = KroneckerParams::graph500(8, 5).generate();
+        let dram = DistGraph::build(&el, ClusterSpec::dram(2)).unwrap();
+        let mut spec = ClusterSpec::flash_cluster(2);
+        spec.delay_mode = DelayMode::Accounting;
+        let nvm = DistGraph::build(&el, spec).unwrap();
+        assert!(nvm.node(0).device().is_some());
+        assert!(dram.node(0).device().is_none());
+        assert!(nvm.node(0).nvm_bytes() > 0);
+        // The backward copy stays in DRAM (the paper's per-node layout).
+        assert!(nvm.node(0).dram_bytes() > 0);
+
+        let (mut buf, mut scratch) = (Vec::new(), Vec::new());
+        for k in 0..2 {
+            let range = dram.partition().range(k);
+            for i in 0..(range.end - range.start) {
+                let a = dram
+                    .node(k)
+                    .with_neighbors(i, &mut buf, &mut scratch, |ns| ns.to_vec())
+                    .unwrap();
+                let b = nvm
+                    .node(k)
+                    .with_neighbors(i, &mut buf, &mut scratch, |ns| ns.to_vec())
+                    .unwrap();
+                assert_eq!(a, b, "node {k} row {i}");
+            }
+        }
+        // Reads were metered on the node devices.
+        assert!(nvm.node(0).device().unwrap().snapshot().requests > 0);
+    }
+
+    #[test]
+    fn single_node_cluster_is_whole_graph() {
+        let g = DistGraph::build(&sample(), ClusterSpec::dram(1)).unwrap();
+        assert_eq!(g.partition().range(0), 0..8);
+        assert_eq!(g.owner(7), 0);
+    }
+}

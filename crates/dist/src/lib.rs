@@ -1,0 +1,33 @@
+//! `sembfs-dist` — the paper's multi-node future work, simulated.
+//!
+//! §VIII: "Future work includes … applying our technique to multi-node
+//! environments", citing Beamer et al.'s distributed direction-optimizing
+//! BFS (MTAAP'13). This crate implements that extension as a **simulated
+//! cluster**: `p` nodes own contiguous vertex ranges (1-D partition);
+//! every node holds the adjacency of its own vertices — in DRAM or
+//! offloaded to its own simulated NVM device, exactly like the
+//! single-node scenarios — and the level-synchronous hybrid BFS runs with
+//! explicit communication:
+//!
+//! * **top-down**: each node expands its local slice of the frontier and
+//!   sends `(child, parent)` discoveries to the child's owner;
+//! * **bottom-up**: the frontier bitmap is allgathered, then each node
+//!   probes only its local unvisited vertices.
+//!
+//! Node compute is executed for real (one node at a time; the simulated
+//! level time takes the **max** across nodes, as a real cluster would),
+//! and the network is a model ([`NetworkProfile`]) that accounts bytes
+//! and rounds and charges `latency + bytes/bandwidth` per level. The
+//! result is a *simulated* wall time and TEPS plus exact traffic
+//! statistics — enough to study how the semi-external technique composes
+//! with scale-out, without owning a cluster.
+
+pub mod bfs;
+pub mod cluster;
+pub mod network;
+
+pub use bfs::{dist_hybrid_bfs, DistBfsRun, DistLevelStats};
+pub use cluster::{ClusterSpec, DistGraph, NodeStorage};
+pub use network::{NetStats, NetworkProfile};
+
+pub use sembfs_graph500::{VertexId, INVALID_PARENT};

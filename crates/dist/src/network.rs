@@ -1,0 +1,141 @@
+//! The interconnect model.
+//!
+//! Like the storage [`Device`](sembfs_semext::Device), the network is a
+//! calibrated analytical model rather than real hardware: each
+//! communication phase of a level costs one latency term per round plus
+//! the byte volume over the (bisection) bandwidth. Traffic is accounted
+//! exactly; time is virtual.
+
+use std::time::Duration;
+
+/// Performance parameters of the simulated interconnect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkProfile {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Per-message-round latency (software + switch).
+    pub latency: Duration,
+    /// Aggregate bandwidth available to one exchange phase, bytes/s.
+    pub bandwidth: u64,
+}
+
+impl NetworkProfile {
+    /// A 2013-era QDR InfiniBand-like fabric: ~2 µs latency, ~4 GB/s
+    /// effective per-node bandwidth.
+    pub fn infiniband_qdr() -> Self {
+        Self {
+            name: "InfiniBand QDR",
+            latency: Duration::from_micros(2),
+            bandwidth: 4_000_000_000,
+        }
+    }
+
+    /// Commodity 10 GbE: ~30 µs latency, ~1.2 GB/s effective.
+    pub fn ten_gbe() -> Self {
+        Self {
+            name: "10 GbE",
+            latency: Duration::from_micros(30),
+            bandwidth: 1_200_000_000,
+        }
+    }
+
+    /// A free network (isolates computation effects).
+    pub fn ideal() -> Self {
+        Self {
+            name: "ideal",
+            latency: Duration::ZERO,
+            bandwidth: u64::MAX,
+        }
+    }
+
+    /// Modeled time for one exchange phase of `bytes` total volume over
+    /// `rounds` message rounds.
+    pub fn phase_time(&self, bytes: u64, rounds: u32) -> Duration {
+        let transfer_ns = if self.bandwidth == u64::MAX {
+            0
+        } else {
+            bytes.saturating_mul(1_000_000_000).div_ceil(self.bandwidth)
+        };
+        self.latency * rounds + Duration::from_nanos(transfer_ns)
+    }
+}
+
+/// Accumulated traffic statistics of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Total bytes moved between nodes.
+    pub bytes: u64,
+    /// Total point-to-point messages.
+    pub messages: u64,
+    /// Total collective operations (allgathers / allreduces).
+    pub collectives: u64,
+}
+
+impl NetStats {
+    /// Record a point-to-point message.
+    pub fn message(&mut self, bytes: u64) {
+        self.bytes += bytes;
+        self.messages += 1;
+    }
+
+    /// Record a collective of `bytes` total volume.
+    pub fn collective(&mut self, bytes: u64) {
+        self.bytes += bytes;
+        self.collectives += 1;
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &NetStats) {
+        self.bytes += other.bytes;
+        self.messages += other.messages;
+        self.collectives += other.collectives;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_time_components() {
+        let p = NetworkProfile {
+            name: "toy",
+            latency: Duration::from_micros(10),
+            bandwidth: 1_000_000_000,
+        };
+        // 1 MB over 1 GB/s = 1 ms, plus 2 rounds × 10 µs.
+        let t = p.phase_time(1_000_000, 2);
+        assert_eq!(t, Duration::from_micros(1020));
+    }
+
+    #[test]
+    fn ideal_network_is_free() {
+        assert_eq!(
+            NetworkProfile::ideal().phase_time(1 << 40, 100),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn profiles_ordering() {
+        let ib = NetworkProfile::infiniband_qdr();
+        let eth = NetworkProfile::ten_gbe();
+        assert!(ib.phase_time(1 << 20, 1) < eth.phase_time(1 << 20, 1));
+    }
+
+    #[test]
+    fn stats_accumulate_and_merge() {
+        let mut a = NetStats::default();
+        a.message(100);
+        a.message(50);
+        a.collective(1000);
+        assert_eq!(a.bytes, 1150);
+        assert_eq!(a.messages, 2);
+        assert_eq!(a.collectives, 1);
+        let mut b = NetStats::default();
+        b.message(1);
+        b.merge(&a);
+        assert_eq!(b.bytes, 1151);
+        assert_eq!(b.messages, 3);
+    }
+}

@@ -1,0 +1,256 @@
+//! The 4-step Graph500 benchmark driver (§II).
+//!
+//! Orchestrates root selection and the timed BFS+validation rounds. The
+//! BFS kernel itself is supplied as a closure so the driver works with any
+//! of the `sembfs-core` searchers (hybrid, top-down-only, bottom-up-only,
+//! reference) over any scenario — it only cares about the parent array,
+//! the traversed-edge count, and the elapsed time.
+
+use std::time::Duration;
+
+use crate::edge_list::EdgeList;
+use crate::rng::Xoshiro256;
+use crate::stats::TepsStats;
+use crate::validate::{validate_bfs_tree, ValidationError};
+use crate::VertexId;
+
+/// Problem specification for one benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchmarkSpec {
+    /// `N = 2^scale` vertices.
+    pub scale: u32,
+    /// `M = N · edge_factor` edges.
+    pub edge_factor: u64,
+    /// Number of BFS roots (64 in the official benchmark and the paper).
+    pub num_roots: usize,
+    /// Seed for generation and root selection.
+    pub seed: u64,
+}
+
+impl BenchmarkSpec {
+    /// An official-shaped spec (edge factor 16, 64 roots).
+    pub fn official(scale: u32, seed: u64) -> Self {
+        Self {
+            scale,
+            edge_factor: crate::DEFAULT_EDGE_FACTOR,
+            num_roots: crate::OFFICIAL_NUM_ROOTS,
+            seed,
+        }
+    }
+
+    /// A reduced spec for tests and quick runs.
+    pub fn quick(scale: u32, num_roots: usize, seed: u64) -> Self {
+        Self {
+            scale,
+            edge_factor: crate::DEFAULT_EDGE_FACTOR,
+            num_roots,
+            seed,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u64 {
+        1u64 << self.scale
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> u64 {
+        self.num_vertices() * self.edge_factor
+    }
+
+    /// The matching Kronecker generator parameters.
+    pub fn kronecker(&self) -> crate::KroneckerParams {
+        crate::KroneckerParams::graph500(self.scale, self.seed).with_edge_factor(self.edge_factor)
+    }
+}
+
+/// Sample `count` distinct BFS roots with nonzero degree, as the official
+/// benchmark does (a zero-degree root traverses no edges and would make
+/// TEPS meaningless).
+///
+/// `degree(v)` supplies vertex degrees; sampling is deterministic in
+/// `seed`. Panics if the graph has fewer than `count` vertices with edges.
+pub fn select_roots(
+    n: u64,
+    count: usize,
+    seed: u64,
+    degree: impl Fn(VertexId) -> u64,
+) -> Vec<VertexId> {
+    assert!(n > 0, "cannot select roots from an empty graph");
+    let mut rng = Xoshiro256::seed_from(seed, 0xB00F);
+    let mut roots = Vec::with_capacity(count);
+    let mut attempts = 0u64;
+    // Distinctness via linear scan: `count` is 64 in practice.
+    while roots.len() < count {
+        attempts += 1;
+        assert!(
+            attempts < 100 * (count as u64 + 1) + 10 * n,
+            "could not find {count} distinct roots with nonzero degree"
+        );
+        let v = rng.next_below(n) as VertexId;
+        if degree(v) == 0 || roots.contains(&v) {
+            continue;
+        }
+        roots.push(v);
+    }
+    roots
+}
+
+/// The measured result of one BFS round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootBfsOutcome {
+    /// The start vertex.
+    pub root: VertexId,
+    /// Wall time of the BFS (excluding validation).
+    pub elapsed: Duration,
+    /// Edges traversed, as counted for TEPS (the official convention:
+    /// the number of *input* edges within the traversed component).
+    pub traversed_edges: u64,
+    /// `traversed_edges / elapsed`.
+    pub teps: f64,
+}
+
+impl RootBfsOutcome {
+    /// Build an outcome, computing TEPS.
+    pub fn new(root: VertexId, elapsed: Duration, traversed_edges: u64) -> Self {
+        let secs = elapsed.as_secs_f64();
+        let teps = if secs > 0.0 {
+            traversed_edges as f64 / secs
+        } else {
+            0.0
+        };
+        Self {
+            root,
+            elapsed,
+            traversed_edges,
+            teps,
+        }
+    }
+}
+
+/// Aggregated result of a multi-root benchmark run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Per-root outcomes, in execution order.
+    pub outcomes: Vec<RootBfsOutcome>,
+    /// TEPS distribution across roots.
+    pub teps_stats: TepsStats,
+}
+
+impl RunSummary {
+    /// Summarize a set of outcomes.
+    ///
+    /// # Panics
+    /// Panics if `outcomes` is empty or any outcome has zero TEPS.
+    pub fn from_outcomes(outcomes: Vec<RootBfsOutcome>) -> Self {
+        let teps: Vec<f64> = outcomes.iter().map(|o| o.teps).collect();
+        let teps_stats = TepsStats::from_samples(&teps);
+        Self {
+            outcomes,
+            teps_stats,
+        }
+    }
+
+    /// The official score: median TEPS.
+    pub fn median_teps(&self) -> f64 {
+        self.teps_stats.median
+    }
+
+    /// Mean traversed edges per root (Fig. 10's quantity).
+    pub fn mean_traversed_edges(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.traversed_edges as f64)
+            .sum::<f64>()
+            / self.outcomes.len() as f64
+    }
+}
+
+/// Run `bfs` once per root, validating every round against `edges`
+/// (the benchmark's Step 3 + Step 4 loop).
+///
+/// `bfs(root)` must return the parent array, the traversed-edge count, and
+/// the kernel's elapsed time. Validation failures abort the run.
+pub fn run_rounds(
+    roots: &[VertexId],
+    edges: &dyn EdgeList,
+    mut bfs: impl FnMut(VertexId) -> (Vec<VertexId>, u64, Duration),
+) -> Result<RunSummary, ValidationError> {
+    let mut outcomes = Vec::with_capacity(roots.len());
+    for &root in roots {
+        let (parent, traversed, elapsed) = bfs(root);
+        validate_bfs_tree(&parent, root, edges)?;
+        outcomes.push(RootBfsOutcome::new(root, elapsed, traversed));
+    }
+    Ok(RunSummary::from_outcomes(outcomes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_list::MemEdgeList;
+    use crate::INVALID_PARENT;
+
+    #[test]
+    fn spec_arithmetic() {
+        let s = BenchmarkSpec::official(27, 1);
+        assert_eq!(s.num_vertices(), 1 << 27);
+        assert_eq!(s.num_edges(), 1 << 31); // the paper's SCALE 27 instance
+        assert_eq!(s.num_roots, 64);
+    }
+
+    #[test]
+    fn roots_are_distinct_and_nonzero_degree() {
+        let deg = |v: VertexId| if v.is_multiple_of(3) { 0 } else { 5 };
+        let roots = select_roots(1000, 64, 42, deg);
+        assert_eq!(roots.len(), 64);
+        let mut sorted = roots.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 64, "roots must be distinct");
+        assert!(roots.iter().all(|&v| !v.is_multiple_of(3)));
+    }
+
+    #[test]
+    fn root_selection_deterministic() {
+        let deg = |_| 1u64;
+        assert_eq!(select_roots(100, 10, 7, deg), select_roots(100, 10, 7, deg));
+        assert_ne!(select_roots(100, 10, 7, deg), select_roots(100, 10, 8, deg));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct roots")]
+    fn impossible_selection_panics() {
+        select_roots(10, 5, 1, |_| 0);
+    }
+
+    #[test]
+    fn outcome_teps() {
+        let o = RootBfsOutcome::new(3, Duration::from_millis(500), 1_000_000);
+        assert!((o.teps - 2_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn run_rounds_validates_and_summarizes() {
+        // Star graph centered on 0.
+        let el = MemEdgeList::new(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let summary = run_rounds(&[0, 0, 0], &el, |root| {
+            assert_eq!(root, 0);
+            (vec![0, 0, 0, 0, 0], 4, Duration::from_millis(1))
+        })
+        .unwrap();
+        assert_eq!(summary.outcomes.len(), 3);
+        assert!((summary.mean_traversed_edges() - 4.0).abs() < 1e-12);
+        assert!(summary.median_teps() > 0.0);
+    }
+
+    #[test]
+    fn run_rounds_rejects_bad_tree() {
+        let el = MemEdgeList::new(3, vec![(0, 1), (1, 2)]);
+        // Claims 2 is unvisited although it is reachable.
+        let r = run_rounds(&[0], &el, |_| {
+            (vec![0, 0, INVALID_PARENT], 1, Duration::from_millis(1))
+        });
+        assert!(r.is_err());
+    }
+}

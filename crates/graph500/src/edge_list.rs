@@ -1,0 +1,363 @@
+//! Edge lists in DRAM and on semi-external memory.
+//!
+//! §V-A Step 1: the generated edge list is *offloaded to NVM*, then read
+//! back in a streaming fashion during graph construction (Step 2) and
+//! validation (Step 4). [`MemEdgeList`] is the in-DRAM representation;
+//! [`ExtEdgeList`] stores each edge as a packed little-endian `u64`
+//! (`src << 32 | dst`) in any [`ReadAt`] store — a plain file, or a
+//! metered [`NvmStore`](sembfs_semext::NvmStore) so edge-list traffic
+//! shows up in the device statistics.
+
+use rayon::prelude::*;
+use sembfs_semext::ext_array::{write_array_stream, ExtArray, LeBytes};
+use sembfs_semext::{Error, FileBackend, ReadAt, Result};
+use std::path::Path;
+
+use crate::kronecker::KroneckerParams;
+use crate::VertexId;
+
+/// Pack an edge into the on-disk `u64` format.
+#[inline]
+pub fn pack_edge(u: VertexId, v: VertexId) -> u64 {
+    ((u as u64) << 32) | v as u64
+}
+
+/// Unpack an on-disk `u64` into an edge.
+#[inline]
+pub fn unpack_edge(e: u64) -> (VertexId, VertexId) {
+    ((e >> 32) as VertexId, e as VertexId)
+}
+
+/// Sequential chunk visitor: receives each chunk of edges in order.
+pub type ChunkVisitor<'a> = dyn FnMut(&[(VertexId, VertexId)]) -> Result<()> + 'a;
+
+/// Parallel chunk visitor: receives `(chunk_start_edge_index, edges)`.
+pub type ParChunkVisitor<'a> = dyn Fn(u64, &[(VertexId, VertexId)]) -> Result<()> + Sync + 'a;
+
+/// A source of undirected edges, visitable in chunks.
+///
+/// Chunked visitation is the only access pattern the pipeline needs
+/// (construction and validation both stream the list), and it is the only
+/// pattern an external list can serve efficiently.
+pub trait EdgeList: Send + Sync {
+    /// Number of edges `M`.
+    fn num_edges(&self) -> u64;
+
+    /// Number of vertices `N` in the graph the list belongs to.
+    fn num_vertices(&self) -> u64;
+
+    /// Visit all edges sequentially in chunks of at most `chunk_edges`.
+    fn visit_chunks(&self, chunk_edges: usize, f: &mut ChunkVisitor<'_>) -> Result<()>;
+
+    /// Visit all edges in parallel, one chunk of at most `chunk_edges` per
+    /// task. `f` receives `(chunk_start_edge_index, edges)`.
+    fn par_visit_chunks(&self, chunk_edges: usize, f: &ParChunkVisitor<'_>) -> Result<()>;
+}
+
+/// An edge list held in DRAM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemEdgeList {
+    num_vertices: u64,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl MemEdgeList {
+    /// Wrap an edge vector for a graph of `num_vertices` vertices.
+    pub fn new(num_vertices: u64, edges: Vec<(VertexId, VertexId)>) -> Self {
+        Self {
+            num_vertices,
+            edges,
+        }
+    }
+
+    /// Borrow the edges.
+    pub fn as_slice(&self) -> &[(VertexId, VertexId)] {
+        &self.edges
+    }
+
+    /// In-memory size in bytes (tuple representation, as in Fig. 3's
+    /// "Edge List" series).
+    pub fn byte_size(&self) -> u64 {
+        self.edges.len() as u64 * std::mem::size_of::<(VertexId, VertexId)>() as u64
+    }
+}
+
+impl EdgeList for MemEdgeList {
+    fn num_edges(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    fn visit_chunks(&self, chunk_edges: usize, f: &mut ChunkVisitor<'_>) -> Result<()> {
+        for chunk in self.edges.chunks(chunk_edges.max(1)) {
+            f(chunk)?;
+        }
+        Ok(())
+    }
+
+    fn par_visit_chunks(&self, chunk_edges: usize, f: &ParChunkVisitor<'_>) -> Result<()> {
+        let chunk_edges = chunk_edges.max(1);
+        self.edges
+            .par_chunks(chunk_edges)
+            .enumerate()
+            .try_for_each(|(i, chunk)| f((i * chunk_edges) as u64, chunk))
+    }
+}
+
+/// An edge list stored on (semi-)external memory as packed `u64`s.
+#[derive(Debug)]
+pub struct ExtEdgeList<R> {
+    arr: ExtArray<u64, R>,
+    num_vertices: u64,
+}
+
+impl<R: ReadAt> ExtEdgeList<R> {
+    /// Interpret `store` as a packed edge array for a graph of
+    /// `num_vertices` vertices.
+    pub fn new(store: R, num_vertices: u64) -> Result<Self> {
+        Ok(Self {
+            arr: ExtArray::new(store)?,
+            num_vertices,
+        })
+    }
+
+    /// On-storage size in bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.arr.len() * u64::SIZE as u64
+    }
+
+    fn read_chunk(
+        &self,
+        start: u64,
+        len: usize,
+        packed: &mut Vec<u64>,
+        scratch: &mut Vec<u8>,
+        out: &mut Vec<(VertexId, VertexId)>,
+    ) -> Result<()> {
+        packed.clear();
+        packed.resize(len, 0);
+        self.arr.read_slice(start, packed, scratch)?;
+        out.clear();
+        out.extend(packed.iter().map(|&e| unpack_edge(e)));
+        Ok(())
+    }
+}
+
+impl ExtEdgeList<FileBackend> {
+    /// Open an edge-list file written by [`write_edge_file`].
+    pub fn open(path: impl AsRef<Path>, num_vertices: u64) -> Result<Self> {
+        Self::new(FileBackend::open(path)?, num_vertices)
+    }
+}
+
+impl<R: ReadAt> EdgeList for ExtEdgeList<R> {
+    fn num_edges(&self) -> u64 {
+        self.arr.len()
+    }
+
+    fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    fn visit_chunks(&self, chunk_edges: usize, f: &mut ChunkVisitor<'_>) -> Result<()> {
+        let chunk_edges = chunk_edges.max(1);
+        let m = self.num_edges();
+        let (mut packed, mut scratch, mut out) = (Vec::new(), Vec::new(), Vec::new());
+        let mut start = 0u64;
+        while start < m {
+            let len = chunk_edges.min((m - start) as usize);
+            self.read_chunk(start, len, &mut packed, &mut scratch, &mut out)?;
+            f(&out)?;
+            start += len as u64;
+        }
+        Ok(())
+    }
+
+    fn par_visit_chunks(&self, chunk_edges: usize, f: &ParChunkVisitor<'_>) -> Result<()> {
+        let chunk_edges = chunk_edges.max(1) as u64;
+        let m = self.num_edges();
+        let num_chunks = m.div_ceil(chunk_edges);
+        (0..num_chunks).into_par_iter().try_for_each_init(
+            || (Vec::new(), Vec::new(), Vec::new()),
+            |(packed, scratch, out), c| {
+                let start = c * chunk_edges;
+                let len = chunk_edges.min(m - start) as usize;
+                self.read_chunk(start, len, packed, scratch, out)?;
+                f(start, out)
+            },
+        )
+    }
+}
+
+/// Write `edges` to `path` in the packed `u64` format ("offload the edge
+/// list onto NVM", §V-A Step 1). Returns the edge count.
+pub fn write_edge_file(
+    path: impl AsRef<Path>,
+    edges: impl Iterator<Item = (VertexId, VertexId)>,
+) -> Result<u64> {
+    write_array_stream(path, edges.map(|(u, v)| pack_edge(u, v)))
+}
+
+/// Generate a Kronecker edge list directly to a file in bounded memory:
+/// edges are produced in parallel per chunk and streamed out chunk by
+/// chunk. Returns the edge count.
+pub fn generate_edge_file(
+    params: &KroneckerParams,
+    path: impl AsRef<Path>,
+    chunk_edges: usize,
+) -> Result<u64> {
+    use std::io::Write;
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::with_capacity(1 << 20, file);
+    let m = params.num_edges();
+    let chunk_edges = chunk_edges.max(1) as u64;
+    let mut start = 0u64;
+    let mut buf = Vec::new();
+    while start < m {
+        let end = (start + chunk_edges).min(m);
+        let edges = params.generate_range(start, end);
+        buf.clear();
+        buf.reserve(edges.len() * 8);
+        for (u, v) in edges {
+            buf.extend_from_slice(&pack_edge(u, v).to_le_bytes());
+        }
+        w.write_all(&buf)?;
+        start = end;
+    }
+    w.flush().map_err(Error::Io)?;
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sembfs_semext::{DelayMode, Device, DeviceProfile, NvmStore, TempDir};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn sample_edges(n: usize) -> Vec<(VertexId, VertexId)> {
+        (0..n as u32).map(|i| (i * 7 % 100, i * 13 % 100)).collect()
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for (u, v) in [(0u32, 0u32), (1, 2), (u32::MAX - 1, 7), (123_456, 654_321)] {
+            assert_eq!(unpack_edge(pack_edge(u, v)), (u, v));
+        }
+    }
+
+    #[test]
+    fn mem_visit_chunks_sees_all_edges() {
+        let el = MemEdgeList::new(100, sample_edges(250));
+        let mut seen = Vec::new();
+        el.visit_chunks(64, &mut |chunk| {
+            seen.extend_from_slice(chunk);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, el.as_slice());
+    }
+
+    #[test]
+    fn mem_par_visit_counts_edges() {
+        let el = MemEdgeList::new(100, sample_edges(1000));
+        let count = AtomicU64::new(0);
+        el.par_visit_chunks(37, &|_, chunk| {
+            count.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn ext_roundtrip_matches_mem() {
+        let dir = TempDir::new("edge-list").unwrap();
+        let path = dir.path().join("edges.bin");
+        let edges = sample_edges(777);
+        write_edge_file(&path, edges.iter().copied()).unwrap();
+
+        let ext = ExtEdgeList::open(&path, 100).unwrap();
+        assert_eq!(ext.num_edges(), 777);
+        assert_eq!(ext.byte_size(), 777 * 8);
+
+        let mut seen = Vec::new();
+        ext.visit_chunks(100, &mut |chunk| {
+            seen.extend_from_slice(chunk);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, edges);
+    }
+
+    #[test]
+    fn ext_par_visit_chunk_offsets_are_correct() {
+        let dir = TempDir::new("edge-par").unwrap();
+        let path = dir.path().join("edges.bin");
+        let edges = sample_edges(500);
+        write_edge_file(&path, edges.iter().copied()).unwrap();
+        let ext = ExtEdgeList::open(&path, 100).unwrap();
+
+        let total = AtomicU64::new(0);
+        ext.par_visit_chunks(64, &|start, chunk| {
+            for (i, &e) in chunk.iter().enumerate() {
+                assert_eq!(e, edges[start as usize + i]);
+            }
+            total.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn metered_edge_list_records_requests() {
+        let dir = TempDir::new("edge-metered").unwrap();
+        let path = dir.path().join("edges.bin");
+        write_edge_file(&path, sample_edges(1000).into_iter()).unwrap();
+
+        let dev = Device::new(DeviceProfile::intel_ssd_320(), DelayMode::Accounting);
+        let store = NvmStore::new(FileBackend::open(&path).unwrap(), dev.clone());
+        let ext = ExtEdgeList::new(store, 100).unwrap();
+        let mut edges_seen = 0u64;
+        ext.visit_chunks(128, &mut |chunk| {
+            edges_seen += chunk.len() as u64;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(edges_seen, 1000);
+        let snap = dev.snapshot();
+        assert_eq!(snap.requests, 8); // ceil(1000/128)
+                                      // 8 logical reads of 1000 bytes each, accounted as physical 4 KiB
+                                      // block-layer transfers.
+        assert_eq!(snap.bytes, 8 * 4096);
+    }
+
+    #[test]
+    fn generate_edge_file_matches_in_memory_generation() {
+        let dir = TempDir::new("edge-gen").unwrap();
+        let path = dir.path().join("kron.bin");
+        let params = KroneckerParams::graph500(8, 99);
+        let m = generate_edge_file(&params, &path, 1000).unwrap();
+        assert_eq!(m, params.num_edges());
+
+        let mem = params.generate();
+        let ext = ExtEdgeList::open(&path, params.num_vertices()).unwrap();
+        let mut seen = Vec::new();
+        ext.visit_chunks(512, &mut |chunk| {
+            seen.extend_from_slice(chunk);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, mem.as_slice());
+    }
+
+    #[test]
+    fn error_propagates_from_visitor() {
+        let el = MemEdgeList::new(10, sample_edges(10));
+        let r = el.visit_chunks(4, &mut |_| Err(Error::Corrupt("stop".into())));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! Graph500 benchmark substrate for `sembfs`.
+//!
+//! The paper evaluates everything through the Graph500 benchmark (§II):
+//!
+//! 1. **Edge list generation** — a Kronecker graph with `N = 2^SCALE`
+//!    vertices and `M = N · edge_factor` edges ([`kronecker`]).
+//! 2. **Graph construction** — handled by `sembfs-csr` on top of the edge
+//!    lists defined here ([`edge_list`]).
+//! 3. **BFS** — 64 random start vertices; performance is measured in TEPS
+//!    ([`stats`], [`driver`]).
+//! 4. **Validation** — the BFS tree is checked against the edge list
+//!    ([`validate`]).
+//!
+//! The edge list can live in DRAM ([`edge_list::MemEdgeList`]) or on
+//! (simulated) NVM ([`edge_list::ExtEdgeList`]) exactly as in §V-A Step 1,
+//! where the generated list is offloaded and later re-read for graph
+//! construction and validation.
+
+pub mod driver;
+pub mod edge_list;
+pub mod kronecker;
+pub mod rng;
+pub mod scramble;
+pub mod stats;
+pub mod validate;
+
+pub use driver::{select_roots, BenchmarkSpec, RootBfsOutcome, RunSummary};
+pub use edge_list::{EdgeList, ExtEdgeList, MemEdgeList};
+pub use kronecker::KroneckerParams;
+pub use scramble::Scrambler;
+pub use stats::TepsStats;
+pub use validate::{validate_bfs_tree, ValidationError};
+
+/// A vertex identifier. Graph500 SCALEs through 31 fit in `u32`
+/// (the paper runs SCALE 26/27).
+pub type VertexId = u32;
+
+/// Parent-array entry marking "not visited".
+pub const INVALID_PARENT: VertexId = VertexId::MAX;
+
+/// Default Graph500 edge factor (`M = 16·N`).
+pub const DEFAULT_EDGE_FACTOR: u64 = 16;
+
+/// Number of BFS roots the official benchmark runs (and the paper uses).
+pub const OFFICIAL_NUM_ROOTS: usize = 64;

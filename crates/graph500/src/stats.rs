@@ -1,0 +1,229 @@
+//! TEPS statistics in the official Graph500 output format.
+//!
+//! Graph500 runs BFS from 64 roots and reports the distribution of TEPS
+//! (traversed edges per second): min, quartiles, max, and — because TEPS
+//! is a rate — the **harmonic** mean with its propagated standard
+//! deviation. The paper's scores ("4.22 GTEPS") are the *median* TEPS
+//! over the 64 roots (§II), which is [`TepsStats::median`] here.
+
+/// Distribution summary of TEPS samples.
+///
+/// ```
+/// use sembfs_graph500::TepsStats;
+///
+/// let s = TepsStats::from_samples(&[2.0e9, 6.0e9, 4.0e9]);
+/// assert_eq!(s.median, 4.0e9);
+/// // Harmonic mean — the correct mean for rates — is below the arithmetic.
+/// assert!(s.harmonic_mean < 4.0e9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TepsStats {
+    /// Sample count.
+    pub n: usize,
+    /// Minimum TEPS.
+    pub min: f64,
+    /// First quartile (linear interpolation).
+    pub first_quartile: f64,
+    /// Median — the official Graph500 score.
+    pub median: f64,
+    /// Third quartile.
+    pub third_quartile: f64,
+    /// Maximum TEPS.
+    pub max: f64,
+    /// Harmonic mean (the correct mean for rates).
+    pub harmonic_mean: f64,
+    /// Standard deviation of the harmonic mean, propagated from the
+    /// standard deviation of `1/TEPS` as in the reference code:
+    /// `hstddev = hmean² · stddev(1/teps)`.
+    pub harmonic_stddev: f64,
+}
+
+impl TepsStats {
+    /// Summarize a set of TEPS samples.
+    ///
+    /// # Panics
+    /// Panics when `samples` is empty or contains non-positive values
+    /// (a BFS that traversed zero edges has no meaningful TEPS and must be
+    /// filtered out upstream, as the official benchmark re-draws such
+    /// roots).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(
+            !samples.is_empty(),
+            "TEPS statistics need at least one sample"
+        );
+        assert!(
+            samples.iter().all(|&x| x > 0.0 && x.is_finite()),
+            "TEPS samples must be positive and finite"
+        );
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let n = sorted.len();
+
+        let mean_inv = sorted.iter().map(|x| 1.0 / x).sum::<f64>() / n as f64;
+        let harmonic_mean = 1.0 / mean_inv;
+        let harmonic_stddev = if n > 1 {
+            let var_inv = sorted
+                .iter()
+                .map(|x| (1.0 / x - mean_inv).powi(2))
+                .sum::<f64>()
+                / (n - 1) as f64;
+            harmonic_mean * harmonic_mean * var_inv.sqrt()
+        } else {
+            0.0
+        };
+
+        Self {
+            n,
+            min: sorted[0],
+            first_quartile: quantile(&sorted, 0.25),
+            median: quantile(&sorted, 0.5),
+            third_quartile: quantile(&sorted, 0.75),
+            max: sorted[n - 1],
+            harmonic_mean,
+            harmonic_stddev,
+        }
+    }
+
+    /// Format like the official output, scaled to GTEPS.
+    pub fn to_report(&self) -> String {
+        format!(
+            "min_TEPS: {:.4e}\nfirstquartile_TEPS: {:.4e}\nmedian_TEPS: {:.4e}\n\
+             thirdquartile_TEPS: {:.4e}\nmax_TEPS: {:.4e}\n\
+             harmonic_mean_TEPS: {:.4e}\nharmonic_stddev_TEPS: {:.4e}",
+            self.min,
+            self.first_quartile,
+            self.median,
+            self.third_quartile,
+            self.max,
+            self.harmonic_mean,
+            self.harmonic_stddev
+        )
+    }
+}
+
+/// Linear-interpolation quantile of a sorted slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Median of a set of `f64` values (for per-level timing summaries).
+pub fn median_of(values: &[f64]) -> f64 {
+    assert!(!values.is_empty());
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    quantile(&sorted, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample() {
+        let s = TepsStats::from_samples(&[5.0]);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.harmonic_mean, 5.0);
+        assert_eq!(s.harmonic_stddev, 0.0);
+    }
+
+    #[test]
+    fn median_of_odd_and_even() {
+        let s = TepsStats::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.median, 2.0);
+        let s = TepsStats::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.median - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_of_rates() {
+        // Harmonic mean of (2, 6) = 2/(1/2 + 1/6) = 3.
+        let s = TepsStats::from_samples(&[2.0, 6.0]);
+        assert!((s.harmonic_mean - 3.0).abs() < 1e-12);
+        // Harmonic mean never exceeds the arithmetic mean.
+        assert!(s.harmonic_mean <= 4.0);
+    }
+
+    #[test]
+    fn quartiles_bracket_median() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = TepsStats::from_samples(&samples);
+        assert!(s.min <= s.first_quartile);
+        assert!(s.first_quartile <= s.median);
+        assert!(s.median <= s.third_quartile);
+        assert!(s.third_quartile <= s.max);
+        assert!((s.median - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = TepsStats::from_samples(&[3.0, 1.0, 2.0]);
+        let b = TepsStats::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_rejected() {
+        TepsStats::from_samples(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_sample_rejected() {
+        TepsStats::from_samples(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn report_contains_all_fields() {
+        let r = TepsStats::from_samples(&[1e9, 2e9, 4e9]).to_report();
+        for key in [
+            "min_TEPS",
+            "firstquartile_TEPS",
+            "median_TEPS",
+            "thirdquartile_TEPS",
+            "max_TEPS",
+            "harmonic_mean_TEPS",
+            "harmonic_stddev_TEPS",
+        ] {
+            assert!(r.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn median_of_helper() {
+        assert_eq!(median_of(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_of(&[1.0]), 1.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Harmonic mean is bounded by min and max, and the quantile
+            /// chain is monotone, for arbitrary positive samples.
+            #[test]
+            fn invariants(samples in proptest::collection::vec(0.001f64..1e12, 1..100)) {
+                let s = TepsStats::from_samples(&samples);
+                // Relative tolerance: reciprocal round-trips lose ulps at 1e12.
+                let tol = |x: f64| x * 1e-9 + 1e-9;
+                prop_assert!(s.min <= s.first_quartile + tol(s.first_quartile));
+                prop_assert!(s.first_quartile <= s.median + tol(s.median));
+                prop_assert!(s.median <= s.third_quartile + tol(s.third_quartile));
+                prop_assert!(s.third_quartile <= s.max + tol(s.max));
+                prop_assert!(s.harmonic_mean >= s.min - tol(s.min));
+                prop_assert!(s.harmonic_mean <= s.max + tol(s.max));
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-domain access counters for locality analysis.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A set of relaxed atomic counters, one per NUMA domain, used to account
+/// local vs remote accesses during traversal. Feeds the locality analysis
+/// in the evaluation (who touched which domain's data).
+#[derive(Debug)]
+pub struct DomainCounters {
+    local: Vec<AtomicU64>,
+    remote: Vec<AtomicU64>,
+}
+
+impl DomainCounters {
+    /// Counters for `domains` NUMA domains, all zero.
+    pub fn new(domains: usize) -> Self {
+        let mk = || (0..domains).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            local: mk(),
+            remote: mk(),
+        }
+    }
+
+    /// Record `n` accesses performed by `from` on data owned by `to`.
+    /// Counts as local when `from == to`, remote otherwise (charged to the
+    /// *owning* domain).
+    #[inline]
+    pub fn record(&self, from: usize, to: usize, n: u64) {
+        if from == to {
+            self.local[to].fetch_add(n, Ordering::Relaxed);
+        } else {
+            self.remote[to].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Local accesses observed on domain `k`'s data.
+    pub fn local(&self, k: usize) -> u64 {
+        self.local[k].load(Ordering::Relaxed)
+    }
+
+    /// Remote accesses observed on domain `k`'s data.
+    pub fn remote(&self, k: usize) -> u64 {
+        self.remote[k].load(Ordering::Relaxed)
+    }
+
+    /// Sum of local accesses across domains.
+    pub fn total_local(&self) -> u64 {
+        self.local.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of remote accesses across domains.
+    pub fn total_remote(&self) -> u64 {
+        self.remote.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Fraction of accesses that were local, in `[0, 1]`; `1.0` when no
+    /// accesses were recorded (vacuously perfectly local).
+    pub fn locality(&self) -> f64 {
+        let l = self.total_local();
+        let r = self.total_remote();
+        if l + r == 0 {
+            1.0
+        } else {
+            l as f64 / (l + r) as f64
+        }
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        for c in self.local.iter().chain(self.remote.iter()) {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of domains tracked.
+    pub fn domains(&self) -> usize {
+        self.local.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_and_remote_separated() {
+        let c = DomainCounters::new(2);
+        c.record(0, 0, 5);
+        c.record(1, 0, 3);
+        assert_eq!(c.local(0), 5);
+        assert_eq!(c.remote(0), 3);
+        assert_eq!(c.local(1), 0);
+    }
+
+    #[test]
+    fn locality_fraction() {
+        let c = DomainCounters::new(2);
+        c.record(0, 0, 3);
+        c.record(0, 1, 1);
+        assert!((c.locality() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counters_are_fully_local() {
+        let c = DomainCounters::new(4);
+        assert_eq!(c.locality(), 1.0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = DomainCounters::new(3);
+        c.record(2, 1, 10);
+        c.reset();
+        assert_eq!(c.total_local() + c.total_remote(), 0);
+    }
+
+    #[test]
+    fn concurrent_updates_are_summed() {
+        let c = std::sync::Arc::new(DomainCounters::new(1));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.record(0, 0, 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.local(0), 8000);
+    }
+}

@@ -1,0 +1,70 @@
+//! Simulated NUMA topology model for `sembfs`.
+//!
+//! The paper's NETAL implementation partitions both graphs and BFS status
+//! data across the NUMA nodes of a 4-socket Opteron machine (§IV-A, §V-B2).
+//! We cannot portably pin memory pages to physical NUMA nodes, but the
+//! *algorithmic* consequences of NUMA in NETAL are (a) how vertices and
+//! adjacency data are partitioned and (b) which domain performs which part
+//! of the traversal. Both are reproduced here as an explicit topology
+//! *model*: a [`Topology`] describes `ℓ` domains with `c` cores each, and a
+//! [`RangePartition`] assigns vertex `v_i` to domain `N_k` for
+//! `i ∈ [k·n/ℓ, (k+1)·n/ℓ)` exactly as in §V-B2 of the paper.
+//!
+//! Per-domain access counters ([`DomainCounters`]) feed the locality
+//! analysis used by the evaluation figures.
+
+pub mod counters;
+pub mod partition;
+pub mod topology;
+
+pub use counters::DomainCounters;
+pub use partition::RangePartition;
+pub use topology::Topology;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every vertex belongs to exactly one domain and domains cover [0, n).
+        #[test]
+        fn partition_is_exact_cover(n in 1u64..100_000, domains in 1usize..16) {
+            let part = RangePartition::new(n, domains);
+            let mut total = 0u64;
+            for k in 0..domains {
+                let r = part.range(k);
+                total += r.end - r.start;
+                for v in [r.start, (r.start + r.end) / 2, r.end.saturating_sub(1)] {
+                    if v >= r.start && v < r.end {
+                        prop_assert_eq!(part.domain_of(v), k);
+                    }
+                }
+            }
+            prop_assert_eq!(total, n);
+        }
+
+        /// Ranges are contiguous and ordered.
+        #[test]
+        fn partition_ranges_contiguous(n in 1u64..1_000_000, domains in 1usize..32) {
+            let part = RangePartition::new(n, domains);
+            let mut prev_end = 0u64;
+            for k in 0..domains {
+                let r = part.range(k);
+                prop_assert_eq!(r.start, prev_end);
+                prev_end = r.end;
+            }
+            prop_assert_eq!(prev_end, n);
+        }
+
+        /// `domain_of` agrees with a linear scan over the ranges.
+        #[test]
+        fn domain_of_matches_ranges(n in 1u64..50_000, domains in 1usize..12, v in 0u64..50_000) {
+            prop_assume!(v < n);
+            let part = RangePartition::new(n, domains);
+            let k = part.domain_of(v);
+            let r = part.range(k);
+            prop_assert!(v >= r.start && v < r.end);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Range-based vertex partitioning across NUMA domains (§V-B2).
+
+use std::ops::Range;
+
+/// Assigns vertex `v_i` to domain `N_k` for `i ∈ [k·⌈n/ℓ⌉, (k+1)·⌈n/ℓ⌉)`,
+/// the block partition used by NETAL (§V-B2 of the paper).
+///
+/// The last domain absorbs the remainder when `ℓ ∤ n`. Domains may be empty
+/// when `n < ℓ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangePartition {
+    n: u64,
+    domains: usize,
+    /// Vertices per domain (ceiling), so `domain_of` is a single division.
+    block: u64,
+}
+
+impl RangePartition {
+    /// Partition `n` vertices across `domains` domains.
+    ///
+    /// # Panics
+    /// Panics if `domains == 0`.
+    pub fn new(n: u64, domains: usize) -> Self {
+        assert!(domains > 0, "partition needs at least one domain");
+        let block = if n == 0 {
+            1
+        } else {
+            n.div_ceil(domains as u64)
+        };
+        Self {
+            n,
+            domains,
+            block: block.max(1),
+        }
+    }
+
+    /// Total number of vertices `n`.
+    pub fn num_vertices(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of domains `ℓ`.
+    pub fn num_domains(&self) -> usize {
+        self.domains
+    }
+
+    /// The half-open vertex range owned by domain `k`.
+    ///
+    /// # Panics
+    /// Panics if `k >= ℓ`.
+    pub fn range(&self, k: usize) -> Range<u64> {
+        assert!(k < self.domains, "domain index {k} out of range");
+        let start = (self.block * k as u64).min(self.n);
+        let end = (self.block * (k as u64 + 1)).min(self.n);
+        start..end
+    }
+
+    /// The domain that owns vertex `v`.
+    ///
+    /// # Panics
+    /// Panics if `v >= n`.
+    pub fn domain_of(&self, v: u64) -> usize {
+        assert!(v < self.n, "vertex {v} out of range (n = {})", self.n);
+        ((v / self.block) as usize).min(self.domains - 1)
+    }
+
+    /// Number of vertices owned by domain `k`.
+    pub fn len(&self, k: usize) -> u64 {
+        let r = self.range(k);
+        r.end - r.start
+    }
+
+    /// True when domain `k` owns no vertices.
+    pub fn is_empty(&self, k: usize) -> bool {
+        self.len(k) == 0
+    }
+
+    /// Iterate over `(domain, range)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Range<u64>)> + '_ {
+        (0..self.domains).map(move |k| (k, self.range(k)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        let p = RangePartition::new(8, 4);
+        assert_eq!(p.range(0), 0..2);
+        assert_eq!(p.range(1), 2..4);
+        assert_eq!(p.range(2), 4..6);
+        assert_eq!(p.range(3), 6..8);
+    }
+
+    #[test]
+    fn uneven_split_last_domain_short() {
+        let p = RangePartition::new(10, 4);
+        // block = ceil(10/4) = 3 → 3,3,3,1
+        assert_eq!(p.range(0), 0..3);
+        assert_eq!(p.range(3), 9..10);
+        assert_eq!(p.len(3), 1);
+    }
+
+    #[test]
+    fn fewer_vertices_than_domains() {
+        let p = RangePartition::new(2, 4);
+        assert_eq!(p.len(0), 1);
+        assert_eq!(p.len(1), 1);
+        assert!(p.is_empty(2));
+        assert!(p.is_empty(3));
+        assert_eq!(p.domain_of(0), 0);
+        assert_eq!(p.domain_of(1), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let p = RangePartition::new(0, 3);
+        for k in 0..3 {
+            assert!(p.is_empty(k));
+        }
+    }
+
+    #[test]
+    fn domain_of_boundaries() {
+        let p = RangePartition::new(100, 4);
+        assert_eq!(p.domain_of(0), 0);
+        assert_eq!(p.domain_of(24), 0);
+        assert_eq!(p.domain_of(25), 1);
+        assert_eq!(p.domain_of(99), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn domain_of_out_of_range_panics() {
+        RangePartition::new(10, 2).domain_of(10);
+    }
+
+    #[test]
+    fn iter_yields_all_domains() {
+        let p = RangePartition::new(7, 3);
+        let v: Vec<_> = p.iter().collect();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0].1, 0..3);
+        assert_eq!(v[2].1, 6..7);
+    }
+
+    #[test]
+    fn single_domain_owns_everything() {
+        let p = RangePartition::new(1000, 1);
+        assert_eq!(p.range(0), 0..1000);
+        assert_eq!(p.domain_of(999), 0);
+    }
+}

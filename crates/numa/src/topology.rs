@@ -1,0 +1,125 @@
+//! The NUMA topology model.
+
+/// A model of the machine's NUMA layout: `domains` NUMA nodes with
+/// `cores_per_domain` cores each.
+///
+/// The paper's testbed is a 4-socket AMD Opteron 6172 (12 cores per
+/// socket), i.e. `Topology::new(4, 12)`. [`Topology::detect`] builds a
+/// 4-domain model sized to the local machine's available parallelism so
+/// that benches keep the paper's *structure* while using the cores that
+/// actually exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    domains: usize,
+    cores_per_domain: usize,
+}
+
+impl Topology {
+    /// Create a topology with `domains` NUMA domains of `cores_per_domain`
+    /// cores each.
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    pub fn new(domains: usize, cores_per_domain: usize) -> Self {
+        assert!(domains > 0, "topology needs at least one domain");
+        assert!(
+            cores_per_domain > 0,
+            "topology needs at least one core per domain"
+        );
+        Self {
+            domains,
+            cores_per_domain,
+        }
+    }
+
+    /// The paper's testbed: 4 sockets × 12 cores (AMD Opteron 6172).
+    pub fn paper_testbed() -> Self {
+        Self::new(4, 12)
+    }
+
+    /// The default model: 4 domains (the paper's socket count — the
+    /// topology is a *model*, so it keeps the paper's partitioning
+    /// structure even on hosts with fewer cores), with cores spread
+    /// across them.
+    pub fn detect() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self::new(4, (threads / 4).max(1))
+    }
+
+    /// A single-domain topology (no NUMA effects); useful for tests.
+    pub fn flat() -> Self {
+        Self::new(1, 1)
+    }
+
+    /// Number of NUMA domains `ℓ`.
+    pub fn domains(&self) -> usize {
+        self.domains
+    }
+
+    /// Cores per domain `c`.
+    pub fn cores_per_domain(&self) -> usize {
+        self.cores_per_domain
+    }
+
+    /// Total core count `ℓ·c`.
+    pub fn total_cores(&self) -> usize {
+        self.domains * self.cores_per_domain
+    }
+
+    /// Iterate over domain indices `0..ℓ`.
+    pub fn domain_ids(&self) -> std::ops::Range<usize> {
+        0..self.domains
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::detect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_matches_table1() {
+        let t = Topology::paper_testbed();
+        assert_eq!(t.domains(), 4);
+        assert_eq!(t.cores_per_domain(), 12);
+        assert_eq!(t.total_cores(), 48);
+    }
+
+    #[test]
+    fn detect_has_at_least_one_core() {
+        let t = Topology::detect();
+        assert!(t.domains() >= 1);
+        assert!(t.total_cores() >= 1);
+        assert_eq!(t.domains(), 4);
+    }
+
+    #[test]
+    fn domain_ids_covers_all() {
+        let t = Topology::new(3, 2);
+        assert_eq!(t.domain_ids().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one domain")]
+    fn zero_domains_panics() {
+        Topology::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "core per domain")]
+    fn zero_cores_panics() {
+        Topology::new(1, 0);
+    }
+
+    #[test]
+    fn flat_is_single_domain() {
+        assert_eq!(Topology::flat().domains(), 1);
+    }
+}

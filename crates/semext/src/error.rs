@@ -1,0 +1,82 @@
+//! Error type for the semi-external memory layer.
+
+use std::fmt;
+
+/// Result alias used throughout `sembfs-semext`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the storage layer.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+    /// A read past the end of a backend or array.
+    OutOfBounds {
+        /// Requested byte offset.
+        offset: u64,
+        /// Requested length in bytes.
+        len: u64,
+        /// Backend size in bytes.
+        size: u64,
+    },
+    /// A file's size is inconsistent with its expected layout.
+    Corrupt(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::OutOfBounds { offset, len, size } => write!(
+                f,
+                "read out of bounds: offset {offset} + len {len} > size {size}"
+            ),
+            Error::Corrupt(msg) => write!(f, "corrupt external data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_out_of_bounds() {
+        let e = Error::OutOfBounds {
+            offset: 10,
+            len: 20,
+            size: 15,
+        };
+        let s = e.to_string();
+        assert!(s.contains("offset 10"));
+        assert!(s.contains("size 15"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn corrupt_displays_message() {
+        let e = Error::Corrupt("index truncated".into());
+        assert!(e.to_string().contains("index truncated"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Multi-device striping (DESIGN.md §7.5).
+//!
+//! The paper's testbed isolates the edge list and the CSR files on
+//! different devices (§VI-D) and names "performance studies on various
+//! NVM devices" as future work. [`StripedStore`] takes that one step
+//! further: a single logical byte region striped across several stores in
+//! fixed-size stripes (RAID-0 style), so one graph file can be served by
+//! multiple simulated devices in parallel — each stripe's request lands
+//! on, and is accounted to, its owning device.
+
+use crate::backend::ReadAt;
+use crate::error::{Error, Result};
+
+/// A RAID-0-style concatenation of equal roles: byte `b` lives on store
+/// `(b / stripe) % stores` at offset `(b / (stripe * k)) * stripe + b % stripe`.
+#[derive(Debug)]
+pub struct StripedStore<R> {
+    stores: Vec<R>,
+    stripe: u64,
+    len: u64,
+}
+
+impl<R: ReadAt> StripedStore<R> {
+    /// Stripe `stores` with the given stripe size in bytes.
+    ///
+    /// The logical length is the sum of the store lengths; the layout
+    /// requires every store except the last to be "full" relative to the
+    /// stripe pattern, which is guaranteed for [`split_striped`]-produced
+    /// images.
+    ///
+    /// # Panics
+    /// Panics when `stores` is empty or `stripe` is zero.
+    pub fn new(stores: Vec<R>, stripe: u64) -> Self {
+        assert!(!stores.is_empty(), "need at least one store");
+        assert!(stripe > 0, "stripe size must be positive");
+        let len = stores.iter().map(|s| s.len()).sum();
+        Self {
+            stores,
+            stripe,
+            len,
+        }
+    }
+
+    /// Number of member stores.
+    pub fn num_stores(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// The stripe size in bytes.
+    pub fn stripe(&self) -> u64 {
+        self.stripe
+    }
+
+    /// Member store `i`.
+    pub fn store(&self, i: usize) -> &R {
+        &self.stores[i]
+    }
+
+    /// Locate logical byte `b`: `(store_index, store_offset)`.
+    #[inline]
+    fn locate(&self, b: u64) -> (usize, u64) {
+        let k = self.stores.len() as u64;
+        let stripe_no = b / self.stripe;
+        let within = b % self.stripe;
+        let store = (stripe_no % k) as usize;
+        let local_stripe = stripe_no / k;
+        (store, local_stripe * self.stripe + within)
+    }
+}
+
+impl<R: ReadAt> ReadAt for StripedStore<R> {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let end = offset
+            .checked_add(buf.len() as u64)
+            .ok_or(Error::OutOfBounds {
+                offset,
+                len: buf.len() as u64,
+                size: self.len,
+            })?;
+        if end > self.len {
+            return Err(Error::OutOfBounds {
+                offset,
+                len: buf.len() as u64,
+                size: self.len,
+            });
+        }
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let logical = offset + pos as u64;
+            let (store, local) = self.locate(logical);
+            let stripe_remaining = self.stripe - (logical % self.stripe);
+            let take = (stripe_remaining as usize).min(buf.len() - pos);
+            self.stores[store].read_at(local, &mut buf[pos..pos + take])?;
+            pos += take;
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+/// Split `data` into `k` per-device images with the given stripe size
+/// (the write-side counterpart of [`StripedStore`]).
+pub fn split_striped(data: &[u8], k: usize, stripe: usize) -> Vec<Vec<u8>> {
+    assert!(k > 0 && stripe > 0);
+    let mut out = vec![Vec::new(); k];
+    for (i, chunk) in data.chunks(stripe).enumerate() {
+        out[i % k].extend_from_slice(chunk);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::DramBackend;
+    use crate::device::{DelayMode, Device, DeviceProfile, NvmStore};
+
+    fn build(k: usize, stripe: usize, total: usize) -> (Vec<u8>, StripedStore<DramBackend>) {
+        let data: Vec<u8> = (0..total).map(|i| (i * 131 % 251) as u8).collect();
+        let images = split_striped(&data, k, stripe);
+        let stores = images.into_iter().map(DramBackend::new).collect();
+        (data, StripedStore::new(stores, stripe as u64))
+    }
+
+    #[test]
+    fn reads_match_unstriped_source() {
+        let (data, striped) = build(3, 128, 10_000);
+        assert_eq!(striped.len(), 10_000);
+        for (off, len) in [
+            (0usize, 1usize),
+            (127, 2),
+            (128, 128),
+            (5_000, 3_000),
+            (9_999, 1),
+        ] {
+            let mut buf = vec![0u8; len];
+            striped.read_at(off as u64, &mut buf).unwrap();
+            assert_eq!(&buf[..], &data[off..off + len], "off {off} len {len}");
+        }
+    }
+
+    #[test]
+    fn single_store_is_passthrough() {
+        let (data, striped) = build(1, 64, 1_000);
+        let mut buf = vec![0u8; 1_000];
+        striped.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let (_, striped) = build(2, 64, 500);
+        let mut buf = vec![0u8; 10];
+        assert!(striped.read_at(495, &mut buf).is_err());
+    }
+
+    #[test]
+    fn requests_spread_across_devices() {
+        // Bind each stripe image to its own simulated device and verify a
+        // long scan touches them all.
+        let data: Vec<u8> = (0..64 * 1024).map(|i| (i % 256) as u8).collect();
+        let images = split_striped(&data, 4, 4096);
+        let devices: Vec<_> = (0..4)
+            .map(|_| Device::new(DeviceProfile::iodrive2(), DelayMode::Accounting))
+            .collect();
+        let stores: Vec<_> = images
+            .into_iter()
+            .zip(&devices)
+            .map(|(img, dev)| NvmStore::new(DramBackend::new(img), dev.clone()))
+            .collect();
+        let striped = StripedStore::new(stores, 4096);
+        let mut buf = vec![0u8; 64 * 1024];
+        striped.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf[..], &data[..]);
+        for (i, d) in devices.iter().enumerate() {
+            let snap = d.snapshot();
+            assert_eq!(snap.requests, 4, "device {i}");
+            assert_eq!(snap.bytes, 16 * 1024, "device {i}");
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Arbitrary windows of a striped store equal the flat source.
+            #[test]
+            fn striped_window_roundtrip(
+                total in 1usize..5000,
+                k in 1usize..6,
+                stripe in 1usize..512,
+                off in 0usize..5000,
+                len in 0usize..1024,
+            ) {
+                prop_assume!(off < total);
+                let len = len.min(total - off);
+                let (data, striped) = build(k, stripe, total);
+                let mut buf = vec![0u8; len];
+                striped.read_at(off as u64, &mut buf).unwrap();
+                prop_assert_eq!(&buf[..], &data[off..off + len]);
+            }
+        }
+    }
+}

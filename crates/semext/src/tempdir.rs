@@ -1,0 +1,101 @@
+//! Minimal scratch-directory utility (avoids a `tempfile` dependency).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::Result;
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely-named directory under the system temp dir, removed on drop.
+///
+/// Used by tests, examples, and benches to stage the "NVM" files that hold
+/// offloaded graph data.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+    keep: bool,
+}
+
+impl TempDir {
+    /// Create a fresh directory whose name contains `label`, the process
+    /// id, and a per-process counter (so parallel tests never collide).
+    pub fn new(label: &str) -> Result<Self> {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("sembfs-{label}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path)?;
+        Ok(Self { path, keep: false })
+    }
+
+    /// Create a temp dir rooted at `base` instead of the system temp dir.
+    /// Useful for pointing the "NVM" files at a specific mount.
+    pub fn new_in(base: impl AsRef<Path>, label: &str) -> Result<Self> {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = base
+            .as_ref()
+            .join(format!("sembfs-{label}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path)?;
+        Ok(Self { path, keep: false })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Disable removal on drop (for post-mortem inspection).
+    pub fn keep(&mut self) {
+        self.keep = true;
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if !self.keep {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let p;
+        {
+            let d = TempDir::new("unit").unwrap();
+            p = d.path().to_path_buf();
+            assert!(p.is_dir());
+            std::fs::write(p.join("x"), b"hello").unwrap();
+        }
+        assert!(!p.exists());
+    }
+
+    #[test]
+    fn two_dirs_are_distinct() {
+        let a = TempDir::new("dup").unwrap();
+        let b = TempDir::new("dup").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+
+    #[test]
+    fn keep_preserves_directory() {
+        let p;
+        {
+            let mut d = TempDir::new("kept").unwrap();
+            d.keep();
+            p = d.path().to_path_buf();
+        }
+        assert!(p.exists());
+        std::fs::remove_dir_all(&p).unwrap();
+    }
+
+    #[test]
+    fn new_in_respects_base() {
+        let base = TempDir::new("base").unwrap();
+        let inner = TempDir::new_in(base.path(), "inner").unwrap();
+        assert!(inner.path().starts_with(base.path()));
+    }
+}

@@ -1,0 +1,84 @@
+//! The full Graph500 benchmark pipeline (§II): generation, construction,
+//! `num_roots` timed BFS iterations with validation, and the official
+//! statistics block.
+//!
+//! ```sh
+//! cargo run --release --example graph500_run [scale] [scenario] [num_roots]
+//! # scenario ∈ {dram, flash, ssd}; defaults: scale 16, dram, 16 roots
+//! ```
+
+use sembfs::prelude::*;
+use sembfs_graph500::driver::run_rounds;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let scenario = match args.next().as_deref() {
+        Some("flash") => Scenario::DramPcieFlash,
+        Some("ssd") => Scenario::DramSsd,
+        _ => Scenario::DramOnly,
+    };
+    let num_roots: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+
+    let spec = BenchmarkSpec::quick(scale, num_roots, 1);
+    println!(
+        "Graph500 run: SCALE {scale}, edge factor {}, {} roots, scenario {}",
+        spec.edge_factor,
+        spec.num_roots,
+        scenario.label()
+    );
+
+    let t0 = std::time::Instant::now();
+    let edges = spec.kronecker().generate();
+    println!("generation_time: {:.3} s", t0.elapsed().as_secs_f64());
+
+    let t1 = std::time::Instant::now();
+    let data =
+        ScenarioData::build(&edges, scenario, ScenarioOptions::default()).expect("construction");
+    println!("construction_time: {:.3} s", t1.elapsed().as_secs_f64());
+    println!(
+        "graph sizes: forward {:.1} MiB, backward {:.1} MiB, status {:.1} MiB (NVM: {:.1} MiB)",
+        data.forward_bytes() as f64 / (1 << 20) as f64,
+        data.backward_dram_bytes() as f64 / (1 << 20) as f64,
+        data.status_bytes() as f64 / (1 << 20) as f64,
+        data.nvm_bytes() as f64 / (1 << 20) as f64,
+    );
+
+    let roots = select_roots(spec.num_vertices(), spec.num_roots, spec.seed, |v| {
+        data.degree(v)
+    });
+    let policy = scenario.best_policy();
+    println!("policy: {}", policy.label());
+
+    let mut round = 0;
+    let summary = run_rounds(&roots, &edges, |root| {
+        round += 1;
+        let run = data.run(root, &policy, &BfsConfig::paper()).expect("BFS");
+        println!(
+            "  bfs {round:>2}: root {root:>9}  time {:>9.4} ms  teps_edges {:>10}  {:>8.2} MTEPS",
+            run.elapsed.as_secs_f64() * 1e3,
+            run.teps_edges,
+            run.teps() / 1e6
+        );
+        (run.parent, run.teps_edges, run.elapsed)
+    })
+    .expect("all rounds validate");
+
+    println!(
+        "\nSCALE: {scale}\nedgefactor: {}\nNBFS: {}",
+        spec.edge_factor, num_roots
+    );
+    println!("{}", summary.teps_stats.to_report());
+    println!("\nmedian score: {:.3} MTEPS", summary.median_teps() / 1e6);
+    if let Some(dev) = data.device() {
+        let s = dev.snapshot();
+        println!(
+            "device [{}]: {} requests, avgrq-sz {:.1} sectors, avgqu-sz {:.1}, await {:.2} ms",
+            dev.profile().name,
+            s.requests,
+            s.avgrq_sz(),
+            s.avgqu_sz(),
+            s.await_ms()
+        );
+    }
+}

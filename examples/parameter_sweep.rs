@@ -1,0 +1,74 @@
+//! A miniature of Fig. 7: sweep the direction-switching thresholds α and
+//! β and print the median-TEPS surface for one scenario.
+//!
+//! ```sh
+//! cargo run --release --example parameter_sweep [scale] [scenario]
+//! # scenario ∈ {dram, flash, ssd}
+//! ```
+
+use sembfs::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(14);
+    let scenario = match args.next().as_deref() {
+        Some("flash") => Scenario::DramPcieFlash,
+        Some("ssd") => Scenario::DramSsd,
+        _ => Scenario::DramOnly,
+    };
+
+    let params = KroneckerParams::graph500(scale, 5);
+    let edges = params.generate();
+    let opts = ScenarioOptions {
+        delay_mode: DelayMode::Throttled,
+        ..Default::default()
+    };
+    let data = ScenarioData::build(&edges, scenario, opts).expect("build");
+    let roots = select_roots(params.num_vertices(), 5, 3, |v| data.degree(v));
+
+    let alphas = [1e2, 1e3, 1e4, 1e5, 1e6];
+    let beta_mults = [0.1, 1.0, 10.0];
+
+    println!(
+        "== α/β sweep, SCALE {scale}, {} (median MTEPS over {} roots) ==\n",
+        scenario.label(),
+        roots.len()
+    );
+    print!("{:>10}", "α \\ β");
+    for bm in beta_mults {
+        print!("{:>12}", format!("{bm}·α"));
+    }
+    println!();
+
+    let mut best = (0.0f64, 0.0f64, 0.0f64);
+    for &alpha in &alphas {
+        print!("{:>10.0e}", alpha);
+        for &bm in &beta_mults {
+            let policy = AlphaBetaPolicy::new(alpha, alpha * bm);
+            let mut teps: Vec<f64> = roots
+                .iter()
+                .map(|&r| {
+                    let run = data.run(r, &policy, &BfsConfig::paper()).expect("bfs");
+                    run.teps()
+                })
+                .collect();
+            teps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let median = teps[teps.len() / 2];
+            if median > best.0 {
+                best = (median, alpha, alpha * bm);
+            }
+            print!("{:>12.2}", median / 1e6);
+        }
+        println!();
+    }
+    println!(
+        "\nbest: {:.2} MTEPS at α = {:.0e}, β = {:.0e}",
+        best.0 / 1e6,
+        best.1,
+        best.2
+    );
+    println!(
+        "(paper, SCALE 27: DRAM-only best at α=1e4, β=10α; \
+         DRAM+PCIeFlash at α=1e6, β=1α; DRAM+SSD at α=1e5, β=0.1α)"
+    );
+}

@@ -1,0 +1,84 @@
+//! Quickstart: generate a Kronecker graph, offload the forward graph to a
+//! simulated PCIe flash device, run the hybrid BFS, and validate.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [scale]
+//! ```
+
+use sembfs::prelude::*;
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(14);
+
+    println!("== sembfs quickstart (SCALE {scale}, edge factor 16) ==\n");
+
+    // Step 1: edge list generation.
+    let params = KroneckerParams::graph500(scale, 42);
+    println!(
+        "generating Kronecker graph: {} vertices, {} edges …",
+        params.num_vertices(),
+        params.num_edges()
+    );
+    let edges = params.generate();
+
+    // Step 2: graph construction with the paper's DRAM+PCIeFlash layout —
+    // the forward graph goes to a simulated FusionIO ioDrive2.
+    let scenario = Scenario::DramPcieFlash;
+    let data = ScenarioData::build(&edges, scenario, ScenarioOptions::default())
+        .expect("scenario construction");
+    println!(
+        "layout [{}]: forward graph {:.1} MiB on NVM, backward graph {:.1} MiB in DRAM, \
+         status data {:.1} MiB in DRAM",
+        scenario.label(),
+        data.forward_bytes() as f64 / (1 << 20) as f64,
+        data.backward_dram_bytes() as f64 / (1 << 20) as f64,
+        data.status_bytes() as f64 / (1 << 20) as f64,
+    );
+
+    // Step 3: hybrid BFS with the paper's best flash thresholds
+    // (α = 1e6, β = 1α).
+    let root = select_roots(params.num_vertices(), 1, 7, |v| data.degree(v))[0];
+    let policy = scenario.best_policy();
+    println!("\nrunning {} from root {root} …", policy.label());
+    let run = data.run(root, &policy, &BfsConfig::paper()).expect("BFS");
+
+    println!("\n level  direction   frontier  discovered     scanned  nvm-edges");
+    for l in &run.levels {
+        println!(
+            " {:>5}  {:<10} {:>9}  {:>10}  {:>10}  {:>9}",
+            l.level,
+            l.direction.to_string(),
+            l.frontier_size,
+            l.discovered,
+            l.scanned_edges,
+            l.nvm_edges
+        );
+    }
+    println!(
+        "\nvisited {} of {} vertices in {:?} → {:.3} MTEPS",
+        run.visited,
+        params.num_vertices(),
+        run.elapsed,
+        run.teps() / 1e6
+    );
+    if let Some(dev) = data.device() {
+        let s = dev.snapshot();
+        println!(
+            "NVM device [{}]: {} requests, {:.1} KiB total, avgrq-sz {:.1} sectors",
+            dev.profile().name,
+            s.requests,
+            s.bytes as f64 / 1024.0,
+            s.avgrq_sz()
+        );
+    }
+
+    // Step 4: validation.
+    let report = validate_bfs_tree(&run.parent, root, &edges).expect("tree validates");
+    println!(
+        "\nvalidation OK: {} vertices, max BFS level {}",
+        report.visited, report.max_level
+    );
+}

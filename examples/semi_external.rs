@@ -1,0 +1,129 @@
+//! Semi-external memory in action: the same BFS over all three Table I
+//! scenarios, with throttled device models, DRAM-footprint accounting, and
+//! the iostat-style metrics of §VI-D.
+//!
+//! ```sh
+//! cargo run --release --example semi_external [scale]
+//! ```
+
+use sembfs::prelude::*;
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15);
+    let params = KroneckerParams::graph500(scale, 9);
+    println!("== scenario comparison at SCALE {scale} (throttled device models) ==\n");
+    let edges = params.generate();
+
+    let mut dram_only_time = None;
+    for scenario in Scenario::ALL {
+        let opts = ScenarioOptions {
+            // Real delays so wall-clock differences reflect the devices.
+            delay_mode: DelayMode::Throttled,
+            ..Default::default()
+        };
+        let data = ScenarioData::build(&edges, scenario, opts).expect("build");
+        let root = select_roots(params.num_vertices(), 1, 3, |v| data.degree(v))[0];
+        let run = data
+            .run(root, &scenario.best_policy(), &BfsConfig::paper())
+            .expect("bfs");
+        validate_bfs_tree(&run.parent, root, &edges).expect("validate");
+
+        let dram = data.backward_dram_bytes()
+            + data.status_bytes()
+            + match scenario {
+                Scenario::DramOnly => data.forward_bytes(),
+                _ => 0,
+            };
+        println!("[{}]", scenario.label());
+        println!(
+            "  DRAM {:.1} MiB | NVM {:.1} MiB | policy {}",
+            dram as f64 / (1 << 20) as f64,
+            data.nvm_bytes() as f64 / (1 << 20) as f64,
+            scenario.best_policy().label()
+        );
+        let t = run.elapsed.as_secs_f64();
+        let degradation = dram_only_time
+            .map(|base: f64| format!("{:+.1} % vs DRAM-only", (t / base - 1.0) * 100.0))
+            .unwrap_or_else(|| "baseline".into());
+        if dram_only_time.is_none() {
+            dram_only_time = Some(t);
+        }
+        println!(
+            "  BFS {:.2} ms → {:.2} MTEPS ({degradation})",
+            t * 1e3,
+            run.teps() / 1e6
+        );
+        if let Some(dev) = data.device() {
+            let s = dev.snapshot();
+            println!(
+                "  device: {} requests | avgrq-sz {:.1} sectors | avgqu-sz {:.2} | \
+                 await {:.3} ms | {:.1} MiB/s",
+                s.requests,
+                s.avgrq_sz(),
+                s.avgqu_sz(),
+                s.await_ms(),
+                s.throughput_mib_s()
+            );
+        }
+        println!();
+    }
+
+    println!("== OS page cache: the Fig. 8 vs Fig. 9 regimes ==\n");
+    for (label, cache) in [
+        ("uncached (SCALE 27 regime)", None),
+        ("warm page cache (SCALE 26 regime)", Some(1u64 << 30)),
+    ] {
+        let opts = ScenarioOptions {
+            delay_mode: DelayMode::Throttled,
+            page_cache_bytes: cache,
+            ..Default::default()
+        };
+        let data = ScenarioData::build(&edges, Scenario::DramPcieFlash, opts).expect("build");
+        let root = select_roots(params.num_vertices(), 1, 3, |v| data.degree(v))[0];
+        let run = data
+            .run(root, &Scenario::DramPcieFlash.best_policy(), &BfsConfig::paper())
+            .expect("bfs");
+        let reqs = data.device().unwrap().snapshot().requests;
+        println!(
+            "  {label:<34} {:.2} MTEPS, {} device requests",
+            run.teps() / 1e6,
+            reqs
+        );
+    }
+    println!();
+
+    println!("== §VI-E: offloading the backward graph's cold tail ==\n");
+    for k in [2u64, 8, 32] {
+        let opts = ScenarioOptions {
+            backward_offload_k: Some(k),
+            ..Default::default()
+        };
+        let data = ScenarioData::build(&edges, Scenario::DramPcieFlash, opts).expect("build");
+        let root = select_roots(params.num_vertices(), 1, 3, |v| data.degree(v))[0];
+        let run = data
+            .run(
+                root,
+                &Scenario::DramPcieFlash.best_policy(),
+                &BfsConfig::paper(),
+            )
+            .expect("bfs");
+        let (dram_e, nvm_e) = run.levels.iter().fold((0u64, 0u64), |acc, l| {
+            if l.direction == Direction::BottomUp {
+                (acc.0 + l.scanned_edges - l.nvm_edges, acc.1 + l.nvm_edges)
+            } else {
+                acc
+            }
+        });
+        let full = data.csr().byte_size() as f64;
+        println!(
+            "  k = {k:>2}: backward graph DRAM {:.1} MiB ({:.1} % saved) | \
+             bottom-up probes on NVM: {:.2} %",
+            data.backward_dram_bytes() as f64 / (1 << 20) as f64,
+            (1.0 - data.backward_dram_bytes() as f64 / full) * 100.0,
+            100.0 * nvm_e as f64 / (dram_e + nvm_e).max(1) as f64
+        );
+    }
+}

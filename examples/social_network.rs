@@ -1,0 +1,109 @@
+//! A workload from the paper's motivation (§I): analyzing a social-style
+//! network — hubs, reachability, degrees of separation — on a graph whose
+//! adjacency data does not fit the DRAM budget, using the semi-external
+//! layout for every traversal.
+//!
+//! ```sh
+//! cargo run --release --example social_network [scale]
+//! ```
+
+use sembfs::analytics::{connected_components, pseudo_diameter, separation_histogram};
+use sembfs::prelude::*;
+use sembfs_csr::DegreeStats;
+use sembfs_graph500::validate::{compute_levels, INVALID_LEVEL};
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15);
+    let params = KroneckerParams::graph500(scale, 1234);
+    println!(
+        "== social-network analytics on a Kronecker graph ({} members, {} friendships) ==\n",
+        params.num_vertices(),
+        params.num_edges()
+    );
+    let edges = params.generate();
+    let data = ScenarioData::build(&edges, Scenario::DramPcieFlash, ScenarioOptions::default())
+        .expect("build");
+
+    // --- Degree structure: who are the hubs? ---
+    let deg = DegreeStats::from_csr(data.csr());
+    println!("degree distribution:");
+    println!(
+        "  mean {:.1}, max {}, isolated members {} ({:.1} %)",
+        deg.mean,
+        deg.max,
+        deg.isolated,
+        100.0 * deg.isolated as f64 / params.num_vertices() as f64
+    );
+    for (i, &count) in deg.log2_buckets.iter().enumerate() {
+        if count > 0 {
+            println!(
+                "  degree {:>8}–{:<8} {:>9} members",
+                1u64 << i,
+                (1u64 << (i + 1)) - 1,
+                count
+            );
+        }
+    }
+
+    // --- Community structure ---
+    let cc = connected_components(data.csr());
+    println!(
+        "\ncomponents: {} total; giant component holds {:.1} % of members",
+        cc.num_components(),
+        100.0 * cc.giant_fraction()
+    );
+
+    // --- Reachability and degrees of separation from a few seeds ---
+    let seeds = select_roots(params.num_vertices(), 3, 99, |v| data.degree(v));
+    let policy = Scenario::DramPcieFlash.best_policy();
+    println!("\ndegrees of separation (hybrid BFS on the semi-external layout):");
+    for &seed in &seeds {
+        let run = data.run(seed, &policy, &BfsConfig::paper()).expect("bfs");
+        let profile = separation_histogram(&run.parent, seed).expect("valid tree");
+        let reach = 100.0 * run.visited as f64 / params.num_vertices() as f64;
+        println!(
+            "  seed {seed:>9}: reaches {:.1} % of the network, max separation {}, \
+             mean separation {:.2}, {:.2} MTEPS",
+            reach,
+            profile.eccentricity(),
+            profile.mean_separation(),
+            run.teps() / 1e6
+        );
+        let spread: Vec<String> = profile
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(l, c)| format!("{l}:{c}"))
+            .collect();
+        println!("      level populations: {}", spread.join("  "));
+    }
+
+    // --- How wide is the network? ---
+    let (diameter, far, _) = pseudo_diameter(&data, seeds[0], &policy).expect("diameter sweep");
+    println!(
+        "\npseudo-diameter (double sweep from seed {} via {far}): {diameter} hops",
+        seeds[0]
+    );
+
+    // --- Mutual reachability: do the seeds share a component? ---
+    let base = data
+        .run(seeds[0], &policy, &BfsConfig::paper())
+        .expect("bfs");
+    let levels = compute_levels(&base.parent, seeds[0]).expect("valid tree");
+    for &other in &seeds[1..] {
+        let connected = levels[other as usize] != INVALID_LEVEL;
+        println!(
+            "\nseed {} ↔ seed {}: {}",
+            seeds[0],
+            other,
+            if connected {
+                format!("connected ({} hops)", levels[other as usize])
+            } else {
+                "in different components".into()
+            }
+        );
+    }
+}

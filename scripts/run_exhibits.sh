@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Regenerate every paper exhibit, ablation, and extension experiment into
+# results/. Knobs: SEMBFS_SCALE (default 18), SEMBFS_SMALL_SCALE (15),
+# SEMBFS_ROOTS (8), SEMBFS_SEED (1), SEMBFS_DOMAINS (4),
+# SEMBFS_DEVICE_SCALE (1.0).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p sembfs-bench --bins
+
+mkdir -p results
+bins=(
+    table02_graph_size
+    fig03_graph_size
+    fig07_sweep
+    fig08_bfs_performance
+    fig09_bfs_performance_small
+    fig10_traversed_edges
+    fig11_degradation_by_degree
+    fig12_avgqusz
+    fig13_avgrqsz
+    fig14_bg_offload
+    ablation_io_aggregation
+    ablation_dram_index
+    ablation_policies
+    ablation_relabel
+    ablation_striping
+    ext_dist_scaling
+    ext_green500
+    ext_device_study
+)
+for bin in "${bins[@]}"; do
+    echo "== $bin =="
+    ./target/release/"$bin" | tee "results/$bin.txt"
+    echo
+done
+echo "all exhibits captured in results/"

@@ -1,0 +1,164 @@
+//! `sembfs` — command-line front end for the library.
+//!
+//! ```text
+//! sembfs generate --scale 18 --out edges.bin            # Graph500 Step 1
+//! sembfs info     --scale 18                            # sizes per Table II
+//! sembfs bfs      --scale 18 --scenario flash --roots 8 # Steps 2–4
+//! sembfs sweep    --scale 16 --scenario flash           # mini Fig. 7
+//! ```
+//!
+//! Flags may appear in any order; every command accepts `--seed`.
+
+use std::collections::HashMap;
+
+use sembfs::graph500::driver::run_rounds;
+use sembfs::graph500::edge_list::generate_edge_file;
+use sembfs::prelude::*;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            flags.insert(name.to_string(), value);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn flag<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, default: T) -> T {
+    flags
+        .get(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn scenario_of(flags: &HashMap<String, String>) -> Scenario {
+    match flags.get("scenario").map(String::as_str) {
+        Some("flash") => Scenario::DramPcieFlash,
+        Some("ssd") => Scenario::DramSsd,
+        _ => Scenario::DramOnly,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        usage();
+        return;
+    };
+    let flags = parse_flags(&args[1..]);
+    let scale: u32 = flag(&flags, "scale", 16);
+    let seed: u64 = flag(&flags, "seed", 1);
+    let params = KroneckerParams::graph500(scale, seed);
+
+    match command.as_str() {
+        "generate" => {
+            let out = flags
+                .get("out")
+                .cloned()
+                .unwrap_or_else(|| format!("kron-s{scale}.edges"));
+            let m = generate_edge_file(&params, &out, 1 << 16).expect("generate");
+            println!("wrote {m} edges ({} bytes) to {out}", m * 8);
+        }
+        "info" => {
+            let edges = params.generate();
+            let data =
+                ScenarioData::build(&edges, Scenario::DramOnly, Default::default()).expect("build");
+            println!(
+                "SCALE {scale}: {} vertices, {} edges",
+                params.num_vertices(),
+                params.num_edges()
+            );
+            let fg = data.forward_bytes();
+            let bg = data.backward_dram_bytes();
+            let st = data.status_bytes();
+            for (name, b) in [
+                ("forward graph", fg),
+                ("backward graph", bg),
+                ("status data", st),
+            ] {
+                println!("  {name:>15}: {:>10.1} MiB", b as f64 / (1 << 20) as f64);
+            }
+            println!(
+                "  {:>15}: {:>10.1} MiB",
+                "total",
+                (fg + bg + st) as f64 / (1 << 20) as f64
+            );
+        }
+        "bfs" => {
+            let scenario = scenario_of(&flags);
+            let num_roots: usize = flag(&flags, "roots", 8);
+            let edges = params.generate();
+            let opts = ScenarioOptions {
+                delay_mode: sembfs::semext::DelayMode::Throttled,
+                ..Default::default()
+            };
+            let data = ScenarioData::build(&edges, scenario, opts).expect("build");
+            let roots = select_roots(params.num_vertices(), num_roots, seed, |v| data.degree(v));
+            let policy = scenario.best_policy();
+            println!(
+                "{} | {} | {num_roots} roots",
+                scenario.label(),
+                policy.label()
+            );
+            let summary = run_rounds(&roots, &edges, |root| {
+                let run = data.run(root, &policy, &BfsConfig::paper()).expect("bfs");
+                (run.parent, run.teps_edges, run.elapsed)
+            })
+            .expect("all rounds validate");
+            println!("{}", summary.teps_stats.to_report());
+            println!("score (median): {:.3} MTEPS", summary.median_teps() / 1e6);
+        }
+        "sweep" => {
+            let scenario = scenario_of(&flags);
+            let num_roots: usize = flag(&flags, "roots", 4);
+            let edges = params.generate();
+            let opts = ScenarioOptions {
+                delay_mode: sembfs::semext::DelayMode::Throttled,
+                ..Default::default()
+            };
+            let data = ScenarioData::build(&edges, scenario, opts).expect("build");
+            let roots = select_roots(params.num_vertices(), num_roots, seed, |v| data.degree(v));
+            println!(
+                "{} | median MTEPS over {} roots",
+                scenario.label(),
+                roots.len()
+            );
+            println!("{:>10} {:>10} {:>10} {:>10}", "alpha", "0.1a", "1a", "10a");
+            for alpha in [1e2, 1e3, 1e4, 1e5, 1e6] {
+                print!("{alpha:>10.0e}");
+                for bm in [0.1, 1.0, 10.0] {
+                    let policy = AlphaBetaPolicy::new(alpha, alpha * bm);
+                    let mut teps: Vec<f64> = roots
+                        .iter()
+                        .map(|&r| {
+                            data.run(r, &policy, &BfsConfig::paper())
+                                .expect("bfs")
+                                .teps()
+                        })
+                        .collect();
+                    teps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                    print!(" {:>10.2}", teps[teps.len() / 2] / 1e6);
+                }
+                println!();
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: sembfs <command> [flags]\n\
+         commands:\n\
+         \x20 generate --scale N [--seed S] [--out FILE]   write a Kronecker edge file\n\
+         \x20 info     --scale N [--seed S]                print Table II-style sizes\n\
+         \x20 bfs      --scale N [--scenario dram|flash|ssd] [--roots R]  run the benchmark\n\
+         \x20 sweep    --scale N [--scenario dram|flash|ssd] [--roots R]  α/β sweep"
+    );
+}

@@ -1,0 +1,71 @@
+//! # sembfs — Hybrid BFS with Semi-External Memory
+//!
+//! A from-scratch Rust reproduction of *“Hybrid BFS Approach Using
+//! Semi-External Memory”* (Iwabuchi, Sato, Mizote, Yasui, Fujisawa,
+//! Matsuoka — IPPS 2014): a NUMA-aware direction-optimizing BFS whose
+//! forward graph is offloaded from DRAM to NVM, evaluated through the
+//! Graph500 benchmark.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`graph500`] — Kronecker generation, edge lists, validation, TEPS
+//!   statistics, the 4-step benchmark driver.
+//! * [`csr`] — CSR construction and the NUMA-partitioned forward/backward
+//!   graphs.
+//! * [`semext`] — storage backends, the simulated NVM device model, and
+//!   iostat-style metrics.
+//! * [`numa`] — the NUMA topology model and range partitioner.
+//! * [`core`] — the hybrid BFS itself: step kernels, α/β switching,
+//!   scenarios, baselines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sembfs::prelude::*;
+//!
+//! // Graph500 Step 1: a small Kronecker graph.
+//! let params = KroneckerParams::graph500(10, 42);
+//! let edges = params.generate();
+//!
+//! // Step 2: build the DRAM+PCIeFlash layout (forward graph offloaded to
+//! // a simulated ioDrive2).
+//! let data = ScenarioData::build(
+//!     &edges,
+//!     Scenario::DramPcieFlash,
+//!     ScenarioOptions::default(),
+//! )
+//! .unwrap();
+//!
+//! // Step 3: hybrid BFS with the paper's best flash thresholds.
+//! let root = select_roots(data.csr().num_vertices(), 1, 7, |v| data.degree(v))[0];
+//! let run = data
+//!     .run(root, &Scenario::DramPcieFlash.best_policy(), &BfsConfig::paper())
+//!     .unwrap();
+//!
+//! // Step 4: validate the tree against the edge list.
+//! let report = validate_bfs_tree(&run.parent, root, &edges).unwrap();
+//! assert_eq!(report.visited, run.visited);
+//! ```
+
+pub use sembfs_analytics as analytics;
+pub use sembfs_core as core;
+pub use sembfs_csr as csr;
+pub use sembfs_dist as dist;
+pub use sembfs_graph500 as graph500;
+pub use sembfs_numa as numa;
+pub use sembfs_semext as semext;
+
+/// The most commonly used items, importable in one line.
+pub mod prelude {
+    pub use sembfs_core::{
+        hybrid_bfs, reference_bfs, AlphaBetaPolicy, BeamerPolicy, BfsConfig, BfsRun, Direction,
+        DirectionPolicy, FixedPolicy, Scenario, ScenarioData, ScenarioOptions,
+    };
+    pub use sembfs_csr::{build_csr, BackwardGraph, BuildOptions, CsrGraph, DramForwardGraph};
+    pub use sembfs_graph500::{
+        select_roots, validate_bfs_tree, BenchmarkSpec, KroneckerParams, MemEdgeList, TepsStats,
+        VertexId, INVALID_PARENT,
+    };
+    pub use sembfs_numa::{RangePartition, Topology};
+    pub use sembfs_semext::{DelayMode, Device, DeviceProfile, IoSnapshot, TempDir};
+}

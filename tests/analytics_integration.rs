@@ -1,0 +1,93 @@
+//! Cross-crate checks of the analytics layer against the searcher: the
+//! component structure, separation profiles, and BFS results must tell a
+//! single consistent story.
+
+use sembfs::analytics::{connected_components, pseudo_diameter, separation_histogram};
+use sembfs::prelude::*;
+
+fn setup(scale: u32, seed: u64) -> (MemEdgeList, ScenarioData) {
+    let edges = KroneckerParams::graph500(scale, seed).generate();
+    let data = ScenarioData::build(
+        &edges,
+        Scenario::DramPcieFlash,
+        ScenarioOptions {
+            topology: Topology::new(2, 2),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    (edges, data)
+}
+
+#[test]
+fn bfs_reach_equals_component_size() {
+    let (edges, data) = setup(11, 21);
+    let cc = connected_components(data.csr());
+    let roots = select_roots(data.csr().num_vertices(), 4, 9, |v| data.degree(v));
+    for &root in &roots {
+        let run = data
+            .run(root, &Scenario::DramPcieFlash.best_policy(), &BfsConfig::paper())
+            .unwrap();
+        validate_bfs_tree(&run.parent, root, &edges).unwrap();
+        let component = cc.labels[root as usize];
+        assert_eq!(
+            run.visited, cc.sizes[component as usize],
+            "BFS from {root} must cover exactly its component"
+        );
+    }
+}
+
+#[test]
+fn separation_profile_matches_run_accounting() {
+    let (_, data) = setup(10, 5);
+    let root = select_roots(data.csr().num_vertices(), 1, 2, |v| data.degree(v))[0];
+    let run = data
+        .run(root, &Scenario::DramPcieFlash.best_policy(), &BfsConfig::paper())
+        .unwrap();
+    let profile = separation_histogram(&run.parent, root).unwrap();
+    assert_eq!(profile.reachable(), run.visited);
+    assert_eq!(
+        profile.reachable() + profile.unreachable,
+        data.csr().num_vertices()
+    );
+    // The profile's eccentricity equals the deepest recorded level with
+    // discoveries.
+    let deepest = run
+        .levels
+        .iter()
+        .filter(|l| l.discovered > 0)
+        .map(|l| l.level)
+        .max()
+        .unwrap_or(0);
+    assert_eq!(profile.eccentricity(), deepest);
+}
+
+#[test]
+fn pseudo_diameter_at_least_first_sweep() {
+    let (_, data) = setup(10, 33);
+    let root = select_roots(data.csr().num_vertices(), 1, 3, |v| data.degree(v))[0];
+    let run = data
+        .run(root, &Scenario::DramPcieFlash.best_policy(), &BfsConfig::paper())
+        .unwrap();
+    let first = separation_histogram(&run.parent, root).unwrap().eccentricity();
+    let (d, _, _) =
+        pseudo_diameter(&data, root, &Scenario::DramPcieFlash.best_policy()).unwrap();
+    assert!(d >= first, "double sweep ({d}) must not shrink below the first ({first})");
+}
+
+#[test]
+fn giant_component_dominates_kronecker() {
+    let (_, data) = setup(12, 8);
+    let cc = connected_components(data.csr());
+    assert!(cc.giant_fraction() > 0.4);
+    // Every selected root lands in the giant component (they all have
+    // edges, and the giant holds the hubs) — spot-check the first.
+    let root = select_roots(data.csr().num_vertices(), 1, 1, |v| data.degree(v))[0];
+    let giant = cc.giant_id();
+    let run = data
+        .run(root, &Scenario::DramPcieFlash.best_policy(), &BfsConfig::paper())
+        .unwrap();
+    if cc.labels[root as usize] == giant {
+        assert_eq!(run.visited, cc.giant_size());
+    }
+}

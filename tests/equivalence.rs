@@ -1,0 +1,201 @@
+//! Cross-searcher and cross-scenario equivalence: every policy and every
+//! data layout must produce the same BFS *levels* as the serial reference
+//! (parent arrays may differ — any valid tree is acceptable — but level
+//! assignments are unique).
+
+use sembfs::prelude::*;
+use sembfs_csr::{build_csr, BuildOptions};
+use sembfs_graph500::validate::compute_levels;
+
+fn levels_of(parent: &[VertexId], root: VertexId) -> Vec<u32> {
+    compute_levels(parent, root).expect("valid tree")
+}
+
+fn kron(scale: u32, seed: u64) -> MemEdgeList {
+    KroneckerParams::graph500(scale, seed).generate()
+}
+
+#[test]
+fn hybrid_matches_reference_levels_all_scenarios() {
+    let edges = kron(11, 99);
+    let csr = build_csr(&edges, BuildOptions::default()).unwrap();
+    let opts = ScenarioOptions {
+        topology: Topology::new(3, 2),
+        ..Default::default()
+    };
+
+    let roots = select_roots(csr.num_vertices(), 3, 1, |v| csr.degree(v));
+    for scenario in Scenario::ALL {
+        let data = ScenarioData::build(&edges, scenario, opts.clone()).unwrap();
+        for &root in &roots {
+            let expect = levels_of(&reference_bfs(&csr, root).parent, root);
+            let run = data
+                .run(root, &scenario.best_policy(), &BfsConfig::paper())
+                .unwrap();
+            let got = levels_of(&run.parent, root);
+            assert_eq!(got, expect, "{} root {root}", scenario.label());
+        }
+    }
+}
+
+#[test]
+fn fixed_direction_policies_match_reference_levels() {
+    let edges = kron(10, 3);
+    let csr = build_csr(&edges, BuildOptions::default()).unwrap();
+    let data = ScenarioData::build(
+        &edges,
+        Scenario::DramOnly,
+        ScenarioOptions {
+            topology: Topology::new(2, 2),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let root = select_roots(csr.num_vertices(), 1, 9, |v| csr.degree(v))[0];
+    let expect = levels_of(&reference_bfs(&csr, root).parent, root);
+
+    for policy in [
+        FixedPolicy(Direction::TopDown),
+        FixedPolicy(Direction::BottomUp),
+    ] {
+        let run = data.run(root, &policy, &BfsConfig::paper()).unwrap();
+        assert_eq!(levels_of(&run.parent, root), expect, "{}", policy.label());
+        validate_bfs_tree(&run.parent, root, &edges).unwrap();
+    }
+}
+
+#[test]
+fn beamer_policy_matches_reference_levels() {
+    let edges = kron(10, 17);
+    let csr = build_csr(&edges, BuildOptions::default()).unwrap();
+    let data = ScenarioData::build(
+        &edges,
+        Scenario::DramOnly,
+        ScenarioOptions {
+            topology: Topology::new(2, 2),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let root = select_roots(csr.num_vertices(), 1, 2, |v| csr.degree(v))[0];
+    let expect = levels_of(&reference_bfs(&csr, root).parent, root);
+
+    let policy = BeamerPolicy::with_defaults(csr.num_values() / 2);
+    let cfg = BfsConfig {
+        count_frontier_edges: true,
+        ..BfsConfig::paper()
+    };
+    let run = data.run(root, &policy, &cfg).unwrap();
+    assert_eq!(levels_of(&run.parent, root), expect);
+}
+
+#[test]
+fn split_backward_offload_matches_reference_levels() {
+    let edges = kron(11, 55);
+    let csr = build_csr(&edges, BuildOptions::default()).unwrap();
+    let roots = select_roots(csr.num_vertices(), 2, 4, |v| csr.degree(v));
+    for k in [1u64, 2, 8, 32] {
+        let data = ScenarioData::build(
+            &edges,
+            Scenario::DramPcieFlash,
+            ScenarioOptions {
+                topology: Topology::new(2, 2),
+                backward_offload_k: Some(k),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for &root in &roots {
+            let expect = levels_of(&reference_bfs(&csr, root).parent, root);
+            let run = data
+                .run(
+                    root,
+                    &Scenario::DramPcieFlash.best_policy(),
+                    &BfsConfig::paper(),
+                )
+                .unwrap();
+            assert_eq!(levels_of(&run.parent, root), expect, "k={k} root={root}");
+            validate_bfs_tree(&run.parent, root, &edges).unwrap();
+        }
+    }
+}
+
+#[test]
+fn alpha_beta_sweep_always_valid() {
+    // Any α/β combination must yield a correct BFS — only performance may
+    // change (this is what makes Fig. 7's sweep safe to run).
+    let edges = kron(10, 8);
+    let csr = build_csr(&edges, BuildOptions::default()).unwrap();
+    let data = ScenarioData::build(
+        &edges,
+        Scenario::DramOnly,
+        ScenarioOptions {
+            topology: Topology::new(2, 1),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let root = select_roots(csr.num_vertices(), 1, 5, |v| csr.degree(v))[0];
+    let expect = levels_of(&reference_bfs(&csr, root).parent, root);
+    for alpha in [1e1, 1e3, 1e6] {
+        for beta_mult in [0.1, 1.0, 10.0] {
+            let policy = AlphaBetaPolicy::new(alpha, alpha * beta_mult);
+            let run = data.run(root, &policy, &BfsConfig::paper()).unwrap();
+            assert_eq!(
+                levels_of(&run.parent, root),
+                expect,
+                "α={alpha} β={}",
+                alpha * beta_mult
+            );
+        }
+    }
+}
+
+#[test]
+fn throttled_and_accounting_modes_agree_on_results() {
+    let edges = kron(9, 77);
+    let root;
+    let acc_levels;
+    {
+        let data = ScenarioData::build(
+            &edges,
+            Scenario::DramPcieFlash,
+            ScenarioOptions {
+                topology: Topology::new(2, 1),
+                delay_mode: DelayMode::Accounting,
+                // Scale the device way down so the throttled twin is fast.
+                device_scale: 0.01,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        root = select_roots(data.csr().num_vertices(), 1, 6, |v| data.degree(v))[0];
+        let run = data
+            .run(
+                root,
+                &Scenario::DramPcieFlash.best_policy(),
+                &BfsConfig::paper(),
+            )
+            .unwrap();
+        acc_levels = levels_of(&run.parent, root);
+    }
+    let data = ScenarioData::build(
+        &edges,
+        Scenario::DramPcieFlash,
+        ScenarioOptions {
+            topology: Topology::new(2, 1),
+            delay_mode: DelayMode::Throttled,
+            device_scale: 0.01,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let run = data
+        .run(
+            root,
+            &Scenario::DramPcieFlash.best_policy(),
+            &BfsConfig::paper(),
+        )
+        .unwrap();
+    assert_eq!(levels_of(&run.parent, root), acc_levels);
+}

@@ -1,0 +1,167 @@
+//! External-memory pipeline: the edge list itself offloaded to (simulated)
+//! NVM, graphs constructed by streaming it back, validation reading it
+//! from the device — the full §V-A data flow.
+
+use std::sync::Arc;
+
+use sembfs::prelude::*;
+use sembfs_graph500::edge_list::{generate_edge_file, EdgeList, ExtEdgeList};
+use sembfs_semext::{FileBackend, NvmStore};
+
+#[test]
+fn edge_list_on_device_runs_the_whole_pipeline() {
+    let params = KroneckerParams::graph500(11, 202);
+    let dir = TempDir::new("ext-pipeline").unwrap();
+    let path = dir.path().join("edges.bin");
+    let m = generate_edge_file(&params, &path, 1 << 14).unwrap();
+    assert_eq!(m, params.num_edges());
+
+    // Edge list lives on its own device, like the paper isolates the edge
+    // list from the CSR files (§VI-D).
+    let edge_dev = Device::new(DeviceProfile::intel_ssd_320(), DelayMode::Accounting);
+    let ext = ExtEdgeList::new(
+        NvmStore::new(FileBackend::open(&path).unwrap(), edge_dev.clone()),
+        params.num_vertices(),
+    )
+    .unwrap();
+
+    // Step 2 streams the device-resident list.
+    let data = ScenarioData::build(
+        &ext,
+        Scenario::DramPcieFlash,
+        ScenarioOptions {
+            topology: Topology::new(2, 2),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let construction_reqs = edge_dev.snapshot().requests;
+    assert!(
+        construction_reqs > 0,
+        "construction must stream the edge list"
+    );
+
+    // Step 3 + 4.
+    let root = select_roots(params.num_vertices(), 1, 5, |v| data.degree(v))[0];
+    let run = data
+        .run(
+            root,
+            &Scenario::DramPcieFlash.best_policy(),
+            &BfsConfig::paper(),
+        )
+        .unwrap();
+    let report = validate_bfs_tree(&run.parent, root, &ext).unwrap();
+    assert_eq!(report.visited, run.visited);
+    // Validation streamed the edge list again.
+    assert!(edge_dev.snapshot().requests > construction_reqs);
+}
+
+#[test]
+fn external_and_memory_edge_lists_build_identical_graphs() {
+    let params = KroneckerParams::graph500(10, 44);
+    let mem = params.generate();
+
+    let dir = TempDir::new("ext-eq").unwrap();
+    let path = dir.path().join("edges.bin");
+    generate_edge_file(&params, &path, 1000).unwrap();
+    let ext = ExtEdgeList::open(&path, params.num_vertices()).unwrap();
+    assert_eq!(ext.num_edges(), mem.num_edges());
+
+    let a = sembfs_csr::build_csr(&mem, Default::default()).unwrap();
+    let b = sembfs_csr::build_csr(&ext, Default::default()).unwrap();
+    assert_eq!(a.index(), b.index());
+    // Value multisets per vertex must agree (scatter order may differ).
+    for v in 0..a.num_vertices() as u32 {
+        let mut x = a.neighbors(v).to_vec();
+        let mut y = b.neighbors(v).to_vec();
+        x.sort_unstable();
+        y.sort_unstable();
+        assert_eq!(x, y, "vertex {v}");
+    }
+}
+
+#[test]
+fn forward_graph_files_survive_reopen() {
+    // The offloaded forward graph is plain files: a second scenario built
+    // over the same directory must read identical data.
+    let edges = KroneckerParams::graph500(9, 13).generate();
+    let dir = TempDir::new("reopen").unwrap();
+    let opts = ScenarioOptions {
+        topology: Topology::new(2, 1),
+        data_dir: Some(dir.path().join("nvm")),
+        ..Default::default()
+    };
+    let data1 = ScenarioData::build(&edges, Scenario::DramSsd, opts.clone()).unwrap();
+    let root = select_roots(data1.csr().num_vertices(), 1, 3, |v| data1.degree(v))[0];
+    let run1 = data1
+        .run(root, &Scenario::DramSsd.best_policy(), &BfsConfig::paper())
+        .unwrap();
+    drop(data1);
+
+    let data2 = ScenarioData::build(&edges, Scenario::DramSsd, opts).unwrap();
+    let run2 = data2
+        .run(root, &Scenario::DramSsd.best_policy(), &BfsConfig::paper())
+        .unwrap();
+    assert_eq!(run1.parent.len(), run2.parent.len());
+    assert_eq!(run1.visited, run2.visited);
+    let l1 = sembfs_graph500::validate::compute_levels(&run1.parent, root).unwrap();
+    let l2 = sembfs_graph500::validate::compute_levels(&run2.parent, root).unwrap();
+    assert_eq!(l1, l2);
+}
+
+#[test]
+fn device_stats_reflect_merge_limit() {
+    // Same BFS, two merge limits: the smaller limit must issue at least as
+    // many requests with smaller average size.
+    let edges = KroneckerParams::graph500(10, 66).generate();
+    let run_with_merge = |merge: usize| -> (u64, f64) {
+        let opts = ScenarioOptions {
+            topology: Topology::new(2, 1),
+            ..Default::default()
+        };
+        let data = ScenarioData::build(&edges, Scenario::DramPcieFlash, opts).unwrap();
+        // Replace the reader via config to honor the custom merge limit.
+        let root = select_roots(data.csr().num_vertices(), 1, 9, |v| data.degree(v))[0];
+        let cfg = BfsConfig::paper().with_reader(sembfs_semext::ChunkedReader::new(merge));
+        let run = data
+            .run(root, &FixedPolicy(Direction::TopDown), &cfg)
+            .unwrap();
+        assert!(run.visited > 1);
+        let snap = data.device().unwrap().snapshot();
+        (snap.requests, snap.avgrq_sz())
+    };
+    let (req_small, rq_small) = run_with_merge(4096);
+    let (req_big, rq_big) = run_with_merge(64 * 1024);
+    assert!(req_small >= req_big);
+    assert!(rq_small <= rq_big + 1e-9);
+    // Unmerged requests can never exceed 8 sectors.
+    assert!(rq_small <= 8.0);
+}
+
+#[test]
+fn shared_device_sums_forward_and_backward_tail_traffic() {
+    let edges = KroneckerParams::graph500(10, 91).generate();
+    let data = ScenarioData::build(
+        &edges,
+        Scenario::DramSsd,
+        ScenarioOptions {
+            topology: Topology::new(2, 1),
+            backward_offload_k: Some(2),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let dev: &Arc<Device> = data.device().unwrap();
+    let root = select_roots(data.csr().num_vertices(), 1, 11, |v| data.degree(v))[0];
+    let run = data
+        .run(root, &Scenario::DramSsd.best_policy(), &BfsConfig::paper())
+        .unwrap();
+    // Both sources of NVM traffic must appear on the single device: the
+    // top-down forward reads and the bottom-up tail spills.
+    assert!(
+        run.levels.iter().any(|l| l.nvm_edges > 0),
+        "tail spills expected"
+    );
+    assert!(dev.snapshot().requests > 0);
+    assert!(dev.snapshot().bytes > 0);
+}

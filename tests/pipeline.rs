@@ -1,0 +1,94 @@
+//! End-to-end Graph500 pipeline tests (all four benchmark steps) across
+//! the three machine scenarios.
+
+use sembfs::prelude::*;
+use sembfs_graph500::driver::run_rounds;
+
+fn options() -> ScenarioOptions {
+    ScenarioOptions {
+        topology: Topology::new(4, 2),
+        ..Default::default()
+    }
+}
+
+/// Step 1–4 for one scenario: generate, construct, BFS from several roots,
+/// validate each round, and summarize TEPS.
+fn full_pipeline(scenario: Scenario) {
+    let spec = BenchmarkSpec::quick(12, 6, 2024);
+    let edges = spec.kronecker().generate();
+    let data = ScenarioData::build(&edges, scenario, options()).unwrap();
+    assert_eq!(data.csr().num_vertices(), spec.num_vertices());
+
+    let roots = select_roots(spec.num_vertices(), spec.num_roots, spec.seed, |v| {
+        data.degree(v)
+    });
+    let policy = scenario.best_policy();
+    let summary = run_rounds(&roots, &edges, |root| {
+        let run = data.run(root, &policy, &BfsConfig::paper()).unwrap();
+        (run.parent, run.teps_edges, run.elapsed)
+    })
+    .unwrap();
+
+    assert_eq!(summary.outcomes.len(), 6);
+    assert!(summary.median_teps() > 0.0);
+    // A SCALE 12 Kronecker giant component holds most edges: every root
+    // inside it must traverse a nontrivial share.
+    assert!(summary.mean_traversed_edges() > spec.num_edges() as f64 * 0.5);
+}
+
+#[test]
+fn dram_only_pipeline() {
+    full_pipeline(Scenario::DramOnly);
+}
+
+#[test]
+fn pcie_flash_pipeline() {
+    full_pipeline(Scenario::DramPcieFlash);
+}
+
+#[test]
+fn ssd_pipeline() {
+    full_pipeline(Scenario::DramSsd);
+}
+
+#[test]
+fn teps_stats_report_shape() {
+    let spec = BenchmarkSpec::quick(10, 4, 7);
+    let edges = spec.kronecker().generate();
+    let data = ScenarioData::build(&edges, Scenario::DramOnly, options()).unwrap();
+    let roots = select_roots(spec.num_vertices(), 4, 7, |v| data.degree(v));
+    let policy = Scenario::DramOnly.best_policy();
+    let summary = run_rounds(&roots, &edges, |root| {
+        let run = data.run(root, &policy, &BfsConfig::paper()).unwrap();
+        (run.parent, run.teps_edges, run.elapsed)
+    })
+    .unwrap();
+    let s = summary.teps_stats;
+    assert!(s.min <= s.median && s.median <= s.max);
+    assert!(s.harmonic_mean > 0.0);
+    assert!(summary.teps_stats.to_report().contains("median_TEPS"));
+}
+
+#[test]
+fn sizes_follow_table2_shape() {
+    // Table II shape: forward > backward > status, and the NVM scenarios
+    // hold exactly the forward graph on the device.
+    let spec = BenchmarkSpec::quick(13, 1, 5);
+    let edges = spec.kronecker().generate();
+    let opts = options();
+    let dram = ScenarioData::build(&edges, Scenario::DramOnly, opts.clone()).unwrap();
+    let flash = ScenarioData::build(&edges, Scenario::DramPcieFlash, opts).unwrap();
+
+    assert!(dram.forward_bytes() > dram.backward_dram_bytes());
+    assert!(dram.backward_dram_bytes() > dram.status_bytes());
+    assert_eq!(flash.nvm_bytes(), flash.forward_bytes());
+    assert_eq!(flash.forward_bytes(), dram.forward_bytes());
+    // Offloading removes the forward graph from DRAM: the flash scenario's
+    // DRAM footprint is roughly the backward graph + status data.
+    let dram_total = dram.forward_bytes() + dram.backward_dram_bytes() + dram.status_bytes();
+    let flash_dram = flash.backward_dram_bytes() + flash.status_bytes();
+    assert!(
+        (flash_dram as f64) < 0.6 * dram_total as f64,
+        "offload must cut DRAM roughly in half (paper: 88.3 → 48.2 GB)"
+    );
+}

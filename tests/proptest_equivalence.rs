@@ -1,0 +1,103 @@
+//! Property-based end-to-end equivalence: for *arbitrary* graphs, roots,
+//! and switching parameters, every searcher in the workspace must produce
+//! the reference BFS's level assignment and a tree that validates against
+//! the edge list.
+
+use proptest::prelude::*;
+use sembfs::dist::{dist_hybrid_bfs, ClusterSpec, DistGraph};
+use sembfs::prelude::*;
+use sembfs_csr::{build_csr, BuildOptions};
+use sembfs_graph500::validate::compute_levels;
+
+fn arb_graph() -> impl Strategy<Value = (MemEdgeList, u32)> {
+    (
+        2u64..60,
+        proptest::collection::vec((0u32..60, 0u32..60), 1..150),
+    )
+        .prop_map(|(n, raw)| {
+            let n = n.max(raw.iter().flat_map(|&(u, v)| [u, v]).max().unwrap_or(0) as u64 + 1);
+            let edges: Vec<(u32, u32)> = raw;
+            // Root: an endpoint of the first edge (guaranteed degree ≥ 1).
+            let root = edges[0].0;
+            (MemEdgeList::new(n, edges), root)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Hybrid BFS equals the serial reference for any graph, any α/β, any
+    /// scenario, and validates.
+    #[test]
+    fn hybrid_always_matches_reference(
+        (edges, root) in arb_graph(),
+        alpha_exp in 0u32..7,
+        beta_exp in 0u32..7,
+        scenario_pick in 0usize..3,
+    ) {
+        let csr = build_csr(&edges, BuildOptions::default()).unwrap();
+        let expect = compute_levels(&reference_bfs(&csr, root).parent, root).unwrap();
+
+        let scenario = Scenario::ALL[scenario_pick];
+        let data = ScenarioData::build(
+            &edges,
+            scenario,
+            ScenarioOptions { topology: Topology::new(3, 1), ..Default::default() },
+        )
+        .unwrap();
+        let policy = AlphaBetaPolicy::new(
+            10f64.powi(alpha_exp as i32),
+            10f64.powi(beta_exp as i32),
+        );
+        let run = data.run(root, &policy, &BfsConfig::paper()).unwrap();
+        let got = compute_levels(&run.parent, root).unwrap();
+        prop_assert_eq!(got, expect);
+        validate_bfs_tree(&run.parent, root, &edges).unwrap();
+    }
+
+    /// The distributed searcher equals the reference for any node count.
+    #[test]
+    fn dist_always_matches_reference(
+        (edges, root) in arb_graph(),
+        nodes in 1usize..6,
+        alpha_exp in 0u32..6,
+    ) {
+        let csr = build_csr(&edges, BuildOptions::default()).unwrap();
+        let expect = compute_levels(&reference_bfs(&csr, root).parent, root).unwrap();
+
+        let graph = DistGraph::build(&edges, ClusterSpec::dram(nodes)).unwrap();
+        let policy = AlphaBetaPolicy::new(10f64.powi(alpha_exp as i32), 100.0);
+        let run = dist_hybrid_bfs(&graph, root, &policy).unwrap();
+        let got = compute_levels(&run.parent, root).unwrap();
+        prop_assert_eq!(got, expect);
+        validate_bfs_tree(&run.parent, root, &edges).unwrap();
+    }
+
+    /// Aggregated (libaio) and synchronous I/O produce identical trees,
+    /// with and without the page-cache front.
+    #[test]
+    fn aggregation_does_not_change_results(
+        (edges, root) in arb_graph(),
+        cache in proptest::option::of(1u64..(1 << 20)),
+    ) {
+        let data = ScenarioData::build(
+            &edges,
+            Scenario::DramPcieFlash,
+            ScenarioOptions {
+                topology: Topology::new(2, 1),
+                page_cache_bytes: cache,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let policy = AlphaBetaPolicy::new(1e3, 1e3);
+        let sync = data.run(root, &policy, &BfsConfig::paper()).unwrap();
+        let agg = data
+            .run(root, &policy, &BfsConfig::paper().with_aggregation())
+            .unwrap();
+        let a = compute_levels(&sync.parent, root).unwrap();
+        let b = compute_levels(&agg.parent, root).unwrap();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(sync.visited, agg.visited);
+    }
+}
