@@ -1,0 +1,108 @@
+//! Ablation: sharded page-cache geometry — lock-stripe count × DRAM
+//! budget.
+//!
+//! The concurrent page cache (`semext::shard_cache`) stripes its CLOCK
+//! state over `Mutex<ClockShard>` shards so parallel top-down workers
+//! don't serialize on one lock, and holds real 4 KiB pages so hits are
+//! served from DRAM. This binary sweeps shard count × capacity on an NVM
+//! scenario and emits a JSON document (stdout) with the per-config
+//! hit/miss/eviction/readahead counters and device totals — the raw
+//! material for choosing `ScenarioOptions::cache_shards` /
+//! `page_cache_bytes`.
+//!
+//! Env: the usual `SEMBFS_*` variables, plus `SEMBFS_CACHE_READAHEAD`
+//! (readahead window in pages, default 0).
+
+use sembfs_bench::{measure, BenchEnv};
+use sembfs_core::{Direction, FixedPolicy, Scenario, ScenarioData};
+use sembfs_csr::{build_csr, BuildOptions};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let readahead: usize = std::env::var("SEMBFS_CACHE_READAHEAD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let scenario = Scenario::DramPcieFlash;
+
+    eprintln!(
+        "ablation_cache_shards: SCALE {}, {} roots, seed {}, readahead {} pages",
+        env.scale, env.num_roots, env.seed, readahead
+    );
+
+    let edges = env.generate();
+    let csr = build_csr(&edges, BuildOptions::default()).expect("csr build");
+
+    // Size the budget ladder off the bytes actually offloaded.
+    let probe = ScenarioData::from_csr(csr.clone(), scenario, env.accounting_options())
+        .expect("probe scenario");
+    let nvm_bytes = probe.nvm_bytes();
+    let roots = env.roots(&probe);
+    drop(probe);
+
+    // Forced top-down: the scenario's tuned hybrid (α=1e6) switches to
+    // bottom-up after the root level and never reads the forward graph
+    // again, which would leave the cache idle. Top-down-only routes every
+    // traversed edge through the external store, so the sweep measures
+    // cache geometry, not policy choices.
+    let policy = FixedPolicy(Direction::TopDown);
+    let fractions = [0.125f64, 0.25, 0.5, 1.0];
+    let shard_counts = [1usize, 2, 4, 8, 16];
+
+    let mut rows: Vec<String> = Vec::new();
+    for &frac in &fractions {
+        let capacity = ((nvm_bytes as f64 * frac) as u64).max(4096);
+        for &shards in &shard_counts {
+            let mut opts = env.accounting_options();
+            opts.page_cache_bytes = Some(capacity);
+            opts.cache_shards = Some(shards);
+            opts.cache_readahead_pages = readahead;
+            let data = ScenarioData::from_csr(csr.clone(), scenario, opts).expect("scenario build");
+            let cache = data.page_cache().expect("cache configured").clone();
+            let dev = data.device().expect("nvm scenario").clone();
+
+            let before = cache.snapshot();
+            dev.reset_stats();
+            let (_, median) = measure(&data, &roots, &policy);
+            let delta = cache.snapshot().delta(&before);
+            let io = dev.snapshot();
+
+            eprintln!(
+                "  shards {shards:>2} × {:>6.3} capacity: hit rate {:.4}, {} device requests",
+                frac,
+                delta.hit_rate(),
+                io.requests
+            );
+            rows.push(format!(
+                "    {{\"shards\": {}, \"capacity_bytes\": {}, \"capacity_fraction\": {}, \
+                 \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.6}, \"evictions\": {}, \
+                 \"readahead_pages_loaded\": {}, \"device_requests\": {}, \
+                 \"device_bytes\": {}, \"median_mteps\": {:.3}}}",
+                shards,
+                capacity,
+                frac,
+                delta.hits,
+                delta.misses,
+                delta.hit_rate(),
+                delta.evictions,
+                delta.readahead_pages,
+                io.requests,
+                io.bytes,
+                median / 1e6
+            ));
+        }
+    }
+
+    println!("{{");
+    println!("  \"exhibit\": \"ablation_cache_shards\",");
+    println!("  \"scenario\": \"{}\",", scenario.label());
+    println!("  \"scale\": {},", env.scale);
+    println!("  \"roots\": {},", roots.len());
+    println!("  \"seed\": {},", env.seed);
+    println!("  \"readahead_pages\": {readahead},");
+    println!("  \"forward_nvm_bytes\": {nvm_bytes},");
+    println!("  \"sweep\": [");
+    println!("{}", rows.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

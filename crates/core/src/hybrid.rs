@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sembfs_csr::{DomainNeighbors, NeighborCtx};
-use sembfs_semext::{ChunkedReader, Device, Result};
+use sembfs_semext::{ChunkedReader, Device, Result, ShardedPageCache};
 
 use crate::bitmap::AtomicBitmap;
 use crate::bottomup::{bottom_up_step, BottomUpSource};
@@ -41,6 +41,16 @@ pub struct BfsConfig {
     /// batch (`libaio`-style aggregation, §VI-D) instead of synchronous
     /// per-vertex reads. Only affects semi-external forward graphs.
     pub aggregate_io: bool,
+    /// Page cache fronting the forward graph's stores: its counters are
+    /// snapshotted per level ([`LevelStats::cache`]) and its presence
+    /// enables coalesced span prefetches in the batched top-down path.
+    pub cache_monitor: Option<Arc<ShardedPageCache>>,
+    /// Re-budget the monitored cache to this many bytes before the run
+    /// (spare-DRAM sweeps; `None` keeps the cache's current budget).
+    pub cache_capacity_bytes: Option<u64>,
+    /// Set the monitored cache's sequential readahead window, in pages
+    /// (`None` keeps the current window).
+    pub cache_readahead_pages: Option<usize>,
 }
 
 impl BfsConfig {
@@ -53,6 +63,9 @@ impl BfsConfig {
             io_monitor: None,
             count_frontier_edges: false,
             aggregate_io: false,
+            cache_monitor: None,
+            cache_capacity_bytes: None,
+            cache_readahead_pages: None,
         }
     }
 
@@ -71,6 +84,25 @@ impl BfsConfig {
     /// Use a specific chunk reader for external reads.
     pub fn with_reader(mut self, reader: ChunkedReader) -> Self {
         self.reader = Some(reader);
+        self
+    }
+
+    /// Attach a page-cache monitor (per-level counter deltas + batched
+    /// span prefetches).
+    pub fn with_cache_monitor(mut self, cache: Arc<ShardedPageCache>) -> Self {
+        self.cache_monitor = Some(cache);
+        self
+    }
+
+    /// Re-budget the monitored cache before the run.
+    pub fn with_cache_capacity(mut self, bytes: u64) -> Self {
+        self.cache_capacity_bytes = Some(bytes);
+        self
+    }
+
+    /// Set the monitored cache's readahead window before the run.
+    pub fn with_cache_readahead(mut self, pages: usize) -> Self {
+        self.cache_readahead_pages = Some(pages);
         self
     }
 }
@@ -135,13 +167,24 @@ where
     let batch = if cfg.batch == 0 { 64 } else { cfg.batch };
     let reader = cfg.reader.unwrap_or_else(ChunkedReader::unmerged);
     let aggregate = cfg.aggregate_io;
-    let make_ctx = move || {
-        let ctx = NeighborCtx::new(reader);
-        if aggregate {
-            ctx.with_aggregation()
-        } else {
-            ctx
+    if let Some(cache) = &cfg.cache_monitor {
+        if let Some(bytes) = cfg.cache_capacity_bytes {
+            cache.set_capacity_bytes(bytes);
         }
+        if let Some(pages) = cfg.cache_readahead_pages {
+            cache.set_readahead_pages(pages);
+        }
+    }
+    let ctx_cache = cfg.cache_monitor.clone();
+    let make_ctx = move || {
+        let mut ctx = NeighborCtx::new(reader);
+        if aggregate {
+            ctx = ctx.with_aggregation();
+        }
+        if let Some(cache) = &ctx_cache {
+            ctx = ctx.with_cache(cache.clone());
+        }
+        ctx
     };
 
     let parent = new_parent_array(n, root);
@@ -163,12 +206,21 @@ where
     let mut elapsed = Duration::ZERO;
 
     while frontier_size > 0 {
-        // Policy decision for this level.
-        let frontier_edges = if cfg.count_frontier_edges && !bitmap_current {
+        // Policy decision for this level. The frontier's outgoing-edge
+        // count is computable in either representation — a bitmap frontier
+        // (after a bottom-up level) sums over its set bits, so Beamer-style
+        // policies keep seeing `frontier_edges` across direction switches.
+        let frontier_edges = if cfg.count_frontier_edges {
             let mut ctx = make_ctx();
             let mut sum = 0u64;
-            for &v in &queue {
-                sum += backward.full_degree(v, &mut ctx)?;
+            if bitmap_current {
+                for v in front_bm.iter_ones() {
+                    sum += backward.full_degree(v, &mut ctx)?;
+                }
+            } else {
+                for &v in &queue {
+                    sum += backward.full_degree(v, &mut ctx)?;
+                }
             }
             Some(sum)
         } else {
@@ -200,17 +252,23 @@ where
         direction = decided;
 
         let io_before = cfg.io_monitor.as_ref().map(|d| d.snapshot());
+        let cache_before = cfg.cache_monitor.as_ref().map(|c| c.snapshot());
         let t0 = Instant::now();
         let (discovered, scanned, nvm_edges) = match direction {
             Direction::TopDown => {
                 let out = top_down_step(forward, &queue, &parent, &visited, batch, &make_ctx)?;
                 let d = out.next.len() as u64;
-                // NVM share of top-down scans: when the forward graph is
-                // external every scanned edge was an NVM read; the device
-                // delta below captures the request-level truth, so here we
-                // only track the split-backward NVM probes (bottom-up).
+                // NVM share of top-down scans: with an external forward
+                // graph every scanned edge is read from NVM (Fig. 10's
+                // edge-level attribution); DRAM forward graphs contribute
+                // none.
+                let nvm = if forward.is_external() {
+                    out.scanned_edges
+                } else {
+                    0
+                };
                 queue = out.next;
-                (d, out.scanned_edges, 0)
+                (d, out.scanned_edges, nvm)
             }
             Direction::BottomUp => {
                 next_bm.clear();
@@ -231,6 +289,10 @@ where
             (Some(d), Some(before)) => Some(d.snapshot().delta(&before)),
             _ => None,
         };
+        let cache = match (&cfg.cache_monitor, cache_before) {
+            (Some(c), Some(before)) => Some(c.snapshot().delta(&before)),
+            _ => None,
+        };
 
         visited_count += discovered;
         levels.push(LevelStats {
@@ -242,6 +304,7 @@ where
             nvm_edges,
             elapsed: dt,
             io,
+            cache,
         });
 
         prev_frontier = frontier_size;

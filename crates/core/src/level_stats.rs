@@ -8,7 +8,7 @@
 
 use std::time::Duration;
 
-use sembfs_semext::IoSnapshot;
+use sembfs_semext::{CacheSnapshot, IoSnapshot};
 
 /// Search direction of one BFS level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +52,10 @@ pub struct LevelStats {
     /// I/O-statistics delta of the monitored NVM device over this step,
     /// when a device is being monitored.
     pub io: Option<IoSnapshot>,
+    /// Page-cache counter delta over this step, when a cache is being
+    /// monitored (hit-rate per level: the levels whose working set fits
+    /// DRAM run at cache speed, the rest pay the device).
+    pub cache: Option<CacheSnapshot>,
 }
 
 impl LevelStats {
@@ -100,6 +104,7 @@ mod tests {
             nvm_edges: 0,
             elapsed: Duration::from_millis(10),
             io: None,
+            cache: None,
         }
     }
 

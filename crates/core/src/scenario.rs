@@ -23,8 +23,8 @@ use sembfs_graph500::edge_list::EdgeList;
 use sembfs_numa::{RangePartition, Topology};
 use sembfs_semext::ext_csr::{write_csr_files, ExtCsr};
 use sembfs_semext::{
-    CachedStore, ChunkedReader, DelayMode, Device, DeviceProfile, FileBackend, NvmStore, PageCache,
-    Result, TempDir,
+    ChunkedReader, DelayMode, Device, DeviceProfile, FileBackend, MmapBackend, NvmStore, Result,
+    ShardedCachedStore, ShardedPageCache, TempDir,
 };
 
 use crate::hybrid::{hybrid_bfs, BfsConfig, BfsRun};
@@ -110,6 +110,12 @@ pub struct ScenarioOptions {
     /// SCALE 27 runs approach, while its SCALE 26 runs sit near the fully
     /// cached end; see Fig. 8 vs Fig. 9).
     pub page_cache_bytes: Option<u64>,
+    /// Lock stripes of the modeled page cache (`None` = the cache's
+    /// default). Only meaningful with `page_cache_bytes`.
+    pub cache_shards: Option<usize>,
+    /// Sequential readahead window of the modeled page cache, in 4 KiB
+    /// pages (0 disables readahead, the deterministic default).
+    pub cache_readahead_pages: usize,
     /// Directory for the "NVM" files; a fresh temp dir when `None`.
     pub data_dir: Option<PathBuf>,
     /// Sort adjacency lists during construction (deterministic layout).
@@ -127,6 +133,8 @@ impl Default for ScenarioOptions {
             device_profile_override: None,
             access_path: AccessPath::Pread,
             page_cache_bytes: None,
+            cache_shards: None,
+            cache_readahead_pages: 0,
             data_dir: None,
             sort_neighbors: false,
         }
@@ -163,8 +171,9 @@ pub enum ForwardStore {
     Ext(ExtForwardGraph<NvmStore<FileBackend>>),
     /// On the device, read through `mmap`.
     ExtMmap(ExtForwardGraph<NvmStore<MmapBackend>>),
-    /// On the device, fronted by a modeled OS page cache.
-    ExtCached(ExtForwardGraph<CachedStore<FileBackend>>),
+    /// On the device, fronted by a modeled OS page cache (sharded, data-
+    /// holding; hits never touch the device).
+    ExtCached(ExtForwardGraph<ShardedCachedStore<FileBackend>>),
 }
 
 /// Where the backward graph lives.
@@ -187,7 +196,7 @@ pub struct ScenarioData {
     csr: CsrGraph,
     partition: RangePartition,
     device: Option<Arc<Device>>,
-    page_cache: Option<Arc<PageCache>>,
+    page_cache: Option<Arc<ShardedPageCache>>,
     _tempdir: Option<TempDir>,
 }
 
@@ -244,7 +253,14 @@ impl ScenarioData {
         // a device (§V-A Step 2: "construct the forward graph on DRAM …
         // and offload the constructed forward graph to NVM").
         let page_cache = match (&device, options.page_cache_bytes) {
-            (Some(_), Some(bytes)) => Some(PageCache::new(bytes)),
+            (Some(_), Some(bytes)) => {
+                let cache = match options.cache_shards {
+                    Some(shards) => ShardedPageCache::with_shards(bytes, shards),
+                    None => ShardedPageCache::new(bytes),
+                };
+                cache.set_readahead_pages(options.cache_readahead_pages);
+                Some(cache)
+            }
             _ => None,
         };
         let fg_dram = DramForwardGraph::from_csr(&csr, &partition);
@@ -293,20 +309,20 @@ impl ScenarioData {
                         let domains = paths
                             .iter()
                             .map(|(ip, vp)| {
-                                let index = CachedStore::new(
+                                let index = ShardedCachedStore::new(
                                     FileBackend::open(ip)?,
                                     dev.clone(),
                                     cache.clone(),
                                 );
-                                let values = CachedStore::new(
+                                let values = ShardedCachedStore::new(
                                     FileBackend::open(vp)?,
                                     dev.clone(),
                                     cache.clone(),
                                 );
                                 // Step 2 just wrote these files through the
                                 // kernel: they start in the page cache.
-                                index.warm();
-                                values.warm();
+                                index.warm()?;
+                                values.warm()?;
                                 ExtCsr::new(index, values)
                             })
                             .collect::<Result<Vec<_>>>()?;
@@ -385,7 +401,7 @@ impl ScenarioData {
     }
 
     /// The modeled OS page cache, when enabled.
-    pub fn page_cache(&self) -> Option<&Arc<PageCache>> {
+    pub fn page_cache(&self) -> Option<&Arc<ShardedPageCache>> {
         self.page_cache.as_ref()
     }
 
@@ -461,6 +477,11 @@ impl ScenarioData {
             }
             if cfg.io_monitor.is_none() {
                 cfg.io_monitor = Some(dev.clone());
+            }
+        }
+        if let Some(cache) = &self.page_cache {
+            if cfg.cache_monitor.is_none() {
+                cfg.cache_monitor = Some(cache.clone());
             }
         }
         match (&self.forward, &self.backward) {

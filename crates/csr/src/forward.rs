@@ -222,6 +222,10 @@ impl<R: ReadAt> DomainNeighbors for ExtForwardGraph<R> {
         self.domains.iter().map(ExtCsr::byte_size).sum()
     }
 
+    fn is_external(&self) -> bool {
+        true
+    }
+
     fn with_neighbors<R2>(
         &self,
         k: usize,
@@ -253,10 +257,17 @@ impl<R: ReadAt> DomainNeighbors for ExtForwardGraph<R> {
             return Ok(());
         }
         // §VI-D aggregation: one batched submission for the whole dequeue
-        // batch (the paper dequeues 64 vertices at a time, §V-C).
+        // batch (the paper dequeues 64 vertices at a time, §V-C). With a
+        // page cache attached, dense batches additionally prefetch their
+        // covering value window so the spans are served from DRAM.
         ctx.scratch.clear();
         let ids: Vec<u64> = vs.iter().map(|&v| v as u64).collect();
-        self.domains[k].read_neighbors_batch(&ids, &ctx.reader, &mut ctx.batch)?;
+        self.domains[k].read_neighbors_batch_opts(
+            &ids,
+            &ctx.reader,
+            &mut ctx.batch,
+            ctx.cache.is_some(),
+        )?;
         for (i, &v) in vs.iter().enumerate() {
             f(v, &ctx.batch.outs[i]);
         }

@@ -8,7 +8,9 @@
 //! reader, decode buffers) the semi-external path needs, so the hot loop
 //! allocates nothing.
 
-use sembfs_semext::{ChunkedReader, NeighborBatch, Result};
+use std::sync::Arc;
+
+use sembfs_semext::{ChunkedReader, NeighborBatch, Result, ShardedPageCache};
 
 use crate::VertexId;
 
@@ -28,6 +30,12 @@ pub struct NeighborCtx {
     pub aggregate: bool,
     /// Scratch for batched reads.
     pub batch: NeighborBatch,
+    /// The page cache fronting the forward graph's stores, when one is
+    /// configured. Semi-external sources use its presence to issue
+    /// coalesced span prefetches ahead of batched neighbor reads (the
+    /// cache itself sits inside the store, so demand reads hit it either
+    /// way).
+    pub cache: Option<Arc<ShardedPageCache>>,
 }
 
 impl NeighborCtx {
@@ -39,6 +47,7 @@ impl NeighborCtx {
             scratch: Vec::new(),
             aggregate: false,
             batch: NeighborBatch::new(),
+            cache: None,
         }
     }
 
@@ -50,6 +59,12 @@ impl NeighborCtx {
     /// Enable `libaio`-style batched submissions on batch-capable sources.
     pub fn with_aggregation(mut self) -> Self {
         self.aggregate = true;
+        self
+    }
+
+    /// Attach the page cache fronting the forward graph's stores.
+    pub fn with_cache(mut self, cache: Arc<ShardedPageCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 }
@@ -75,6 +90,13 @@ pub trait DomainNeighbors: Send + Sync {
 
     /// Total size in bytes of the structure (DRAM or NVM footprint).
     fn byte_size(&self) -> u64;
+
+    /// True when neighbor reads are served from external memory (NVM),
+    /// so every scanned edge is an NVM read. DRAM sources keep the
+    /// default.
+    fn is_external(&self) -> bool {
+        false
+    }
 
     /// Invoke `f` with the neighbors of `v` that live in domain `k`.
     ///

@@ -471,8 +471,7 @@ mod level_semantics_tests {
     #[test]
     fn top_down_traffic_is_claim_sized() {
         let g = graph();
-        let run =
-            dist_hybrid_bfs(&g, 0, &sembfs_core::FixedPolicy(Direction::TopDown)).unwrap();
+        let run = dist_hybrid_bfs(&g, 0, &sembfs_core::FixedPolicy(Direction::TopDown)).unwrap();
         // Every message byte is an 8-byte (child, parent) claim.
         assert_eq!(run.net.bytes % 8, 0);
         assert_eq!(run.net.collectives, 0, "pure top-down never allgathers");
@@ -481,8 +480,7 @@ mod level_semantics_tests {
     #[test]
     fn bottom_up_traffic_is_bitmap_sized() {
         let g = graph();
-        let run =
-            dist_hybrid_bfs(&g, 0, &sembfs_core::FixedPolicy(Direction::BottomUp)).unwrap();
+        let run = dist_hybrid_bfs(&g, 0, &sembfs_core::FixedPolicy(Direction::BottomUp)).unwrap();
         assert_eq!(run.net.messages, 0, "pure bottom-up sends no claims");
         assert!(run.net.collectives as usize >= run.levels.len());
     }

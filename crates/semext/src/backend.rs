@@ -49,6 +49,17 @@ pub trait ReadAt: Send + Sync {
         }
         Ok(())
     }
+
+    /// Hint that `[offset, offset + len)` will be read soon.
+    ///
+    /// Plain backends ignore it (the default is a no-op); caching stores
+    /// ([`ShardedCachedStore`](crate::ShardedCachedStore)) load the span's
+    /// missing pages ahead of the demand reads, turning many scattered
+    /// small requests into few large sequential ones. Ranges past the end
+    /// of the region are clipped, not an error.
+    fn prefetch(&self, _offset: u64, _len: u64) -> Result<()> {
+        Ok(())
+    }
 }
 
 fn check_bounds(offset: u64, len: usize, size: u64) -> Result<()> {
@@ -190,6 +201,10 @@ impl<T: ReadAt + ?Sized> ReadAt for Arc<T> {
     fn read_batch_at(&self, reqs: &mut [BatchRead<'_>]) -> Result<()> {
         (**self).read_batch_at(reqs)
     }
+
+    fn prefetch(&self, offset: u64, len: u64) -> Result<()> {
+        (**self).prefetch(offset, len)
+    }
 }
 
 impl<T: ReadAt + ?Sized> ReadAt for &T {
@@ -203,6 +218,10 @@ impl<T: ReadAt + ?Sized> ReadAt for &T {
 
     fn read_batch_at(&self, reqs: &mut [BatchRead<'_>]) -> Result<()> {
         (**self).read_batch_at(reqs)
+    }
+
+    fn prefetch(&self, offset: u64, len: u64) -> Result<()> {
+        (**self).prefetch(offset, len)
     }
 }
 

@@ -165,6 +165,23 @@ impl<R: ReadAt> ExtCsr<R> {
         reader: &ChunkedReader,
         batch: &mut NeighborBatch,
     ) -> Result<()> {
+        self.read_neighbors_batch_opts(vs, reader, batch, false)
+    }
+
+    /// [`read_neighbors_batch`](Self::read_neighbors_batch) with an
+    /// optional **coalesced prefetch**: when `prefetch` is set and the
+    /// batch's value spans are dense (the covering window is at most twice
+    /// the requested bytes), the whole window is handed to the value
+    /// store's [`ReadAt::prefetch`] before the span reads. A caching store
+    /// then loads the window as few large sequential device requests and
+    /// serves the spans from DRAM; for plain stores the hint is a no-op.
+    pub fn read_neighbors_batch_opts(
+        &self,
+        vs: &[u64],
+        reader: &ChunkedReader,
+        batch: &mut NeighborBatch,
+        prefetch: bool,
+    ) -> Result<()> {
         use crate::backend::BatchRead;
 
         batch.outs.resize_with(vs.len(), Vec::new);
@@ -226,6 +243,24 @@ impl<R: ReadAt> ExtCsr<R> {
             .iter()
             .map(|&(s, e)| (e - s) as usize * 4)
             .sum();
+        if prefetch && total_bytes > 0 {
+            let lo = batch
+                .ranges
+                .iter()
+                .map(|&(s, _)| s)
+                .min()
+                .expect("nonempty");
+            let hi = batch
+                .ranges
+                .iter()
+                .map(|&(_, e)| e)
+                .max()
+                .expect("nonempty");
+            let window = (hi - lo) as usize * 4;
+            if window <= total_bytes.saturating_mul(2) {
+                self.values.store().prefetch(lo * 4, window as u64)?;
+            }
+        }
         batch.bytes.clear();
         batch.bytes.resize(total_bytes, 0);
         {

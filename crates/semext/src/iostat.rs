@@ -217,6 +217,52 @@ impl IoSnapshot {
     }
 }
 
+/// Point-in-time counters of a page cache
+/// ([`ShardedPageCache`](crate::ShardedPageCache)).
+///
+/// Like [`IoSnapshot`], snapshots are monotonic and meant to be windowed:
+/// `after.delta(&before)` yields the activity of one BFS level or one
+/// benchmark phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheSnapshot {
+    /// Demand lookups served from a cached page.
+    pub hits: u64,
+    /// Demand lookups that had to go to the backing store.
+    pub misses: u64,
+    /// Filled pages displaced by CLOCK replacement.
+    pub evictions: u64,
+    /// Pages loaded ahead of demand (sequential readahead + explicit
+    /// prefetch), not counted in `hits`/`misses`.
+    pub readahead_pages: u64,
+}
+
+impl CacheSnapshot {
+    /// Demand lookups observed (`hits + misses`).
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Demand hit rate in `[0, 1]` (0 when no accesses).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter difference `self − earlier` (windowed view).
+    pub fn delta(&self, earlier: &CacheSnapshot) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            readahead_pages: self.readahead_pages - earlier.readahead_pages,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

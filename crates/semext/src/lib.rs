@@ -36,6 +36,7 @@ pub mod error;
 pub mod ext_array;
 pub mod ext_csr;
 pub mod iostat;
+pub mod shard_cache;
 pub mod striped;
 pub mod tempdir;
 
@@ -46,7 +47,8 @@ pub use device::{DelayMode, Device, DeviceProfile, NvmStore};
 pub use error::{Error, Result};
 pub use ext_array::ExtArray;
 pub use ext_csr::{ExtCsr, NeighborBatch};
-pub use iostat::{IoSnapshot, IoStats};
+pub use iostat::{CacheSnapshot, IoSnapshot, IoStats};
+pub use shard_cache::{PagePin, ShardedCachedStore, ShardedPageCache};
 pub use striped::StripedStore;
 pub use tempdir::TempDir;
 

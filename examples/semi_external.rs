@@ -84,7 +84,11 @@ fn main() {
         let data = ScenarioData::build(&edges, Scenario::DramPcieFlash, opts).expect("build");
         let root = select_roots(params.num_vertices(), 1, 3, |v| data.degree(v))[0];
         let run = data
-            .run(root, &Scenario::DramPcieFlash.best_policy(), &BfsConfig::paper())
+            .run(
+                root,
+                &Scenario::DramPcieFlash.best_policy(),
+                &BfsConfig::paper(),
+            )
             .expect("bfs");
         let reqs = data.device().unwrap().snapshot().requests;
         println!(

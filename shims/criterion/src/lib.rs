@@ -1,0 +1,284 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock harness exposing the API subset the workspace's
+//! benches use: `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `throughput`/`sample_size`/`bench_function`/`bench_with_input`,
+//! `BenchmarkId`, and `Bencher::iter`. Results go to stdout as
+//! `group/bench  mean ± spread  (throughput)` lines.
+//!
+//! Each benchmark runs one warm-up iteration, then measures up to
+//! `sample_size` iterations, time-boxed (`CRITERION_MAX_SECS`, default 2s per
+//! benchmark) so heavyweight BFS benches stay tractable. Pass `--test` (as
+//! `cargo test --benches` does) or set `CRITERION_QUICK=1` to run a single
+//! smoke iteration per benchmark.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+    max_samples: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed run.
+        black_box(f());
+        let budget = self.budget;
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            self.elapsed += t0.elapsed();
+            iters += 1;
+            if iters >= self.max_samples || start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.iters_done += iters;
+    }
+
+    pub fn iter_with_large_drop<O, F: FnMut() -> O>(&mut self, f: F) {
+        self.iter(f);
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+        || std::env::var("CRITERION_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+}
+
+fn max_secs() -> f64 {
+    std::env::var("CRITERION_MAX_SECS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(2.0)
+}
+
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First free CLI arg (as passed by `cargo bench -- <filter>`) filters
+        // benchmark labels by substring.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+    }
+
+    fn matches(&self, label: &str) -> bool {
+        match &self.filter {
+            Some(f) => label.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id.label, &mut |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.label, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn run_one(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = if self.name.is_empty() {
+            label.to_string()
+        } else {
+            format!("{}/{}", self.name, label)
+        };
+        if !self._parent.matches(&full) {
+            return;
+        }
+        let quick = quick_mode();
+        let mut bencher = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            budget: if quick {
+                Duration::ZERO
+            } else {
+                Duration::from_secs_f64(max_secs())
+            },
+            max_samples: if quick { 1 } else { self.sample_size as u64 },
+        };
+        f(&mut bencher);
+        if bencher.iters_done == 0 {
+            println!("{full:<56} (no iterations)");
+            return;
+        }
+        let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters_done as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) | Some(Throughput::BytesDecimal(b)) => {
+                format!("  {:>10.1} MiB/s", b as f64 / per_iter / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.3} Melem/s", n as f64 / per_iter / 1e6)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{full:<56} {:>12}  ({} iters){rate}",
+            format_time(per_iter),
+            bencher.iters_done
+        );
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Bytes(4096));
+        g.sample_size(3);
+        let mut count = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        g.finish();
+        // warm-up + 1 measured iteration in quick mode
+        assert!(count >= 2);
+    }
+}

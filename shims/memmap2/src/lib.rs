@@ -1,0 +1,155 @@
+//! Offline stand-in for the `memmap2` crate.
+//!
+//! Implements only what the workspace uses: `Mmap::map(&File)` producing a
+//! read-only mapping that derefs to `[u8]`. Backed by raw `mmap(2)` /
+//! `munmap(2)` declared directly (the C library is always linked by std on
+//! this platform), so no external crate is needed.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::os::fd::AsRawFd;
+
+#[allow(non_camel_case_types)]
+type c_int = i32;
+#[allow(non_camel_case_types)]
+type c_void = core::ffi::c_void;
+
+const PROT_READ: c_int = 1;
+const MAP_PRIVATE: c_int = 2;
+
+extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        len: usize,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: i64,
+    ) -> *mut c_void;
+    fn munmap(addr: *mut c_void, len: usize) -> c_int;
+}
+
+/// A read-only memory map of an entire file.
+pub struct Mmap {
+    ptr: *const u8,
+    len: usize,
+}
+
+// The mapping is immutable shared memory; &[u8] access from any thread is fine.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map `file` read-only in its entirety.
+    ///
+    /// # Safety
+    /// As with the real crate: the caller must ensure the underlying file is
+    /// not truncated or mutated in ways that would invalidate the mapping.
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "file too large to map",
+            ));
+        }
+        let len = len as usize;
+        if len == 0 {
+            // mmap(2) rejects zero-length mappings; model it as an empty slice.
+            return Ok(Mmap {
+                ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                len: 0,
+            });
+        }
+        let ptr = mmap(
+            std::ptr::null_mut(),
+            len,
+            PROT_READ,
+            MAP_PRIVATE,
+            file.as_raw_fd(),
+            0,
+        );
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap")
+            .field("ptr", &self.ptr)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            unsafe {
+                munmap(self.ptr as *mut c_void, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("memmap2_shim_test_{}", std::process::id()));
+        {
+            let mut f = File::create(&path).unwrap();
+            f.write_all(b"hello mmap").unwrap();
+        }
+        let f = File::open(&path).unwrap();
+        let m = unsafe { Mmap::map(&f) }.unwrap();
+        assert_eq!(&m[..], b"hello mmap");
+        drop(m);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("memmap2_shim_empty_{}", std::process::id()));
+        File::create(&path).unwrap();
+        let f = File::open(&path).unwrap();
+        let m = unsafe { Mmap::map(&f) }.unwrap();
+        assert!(m.is_empty());
+        drop(m);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

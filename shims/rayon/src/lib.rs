@@ -1,0 +1,788 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! small data-parallel engine with the subset of rayon's API the code base
+//! uses: `into_par_iter` on ranges and vectors, `par_iter`/`par_iter_mut`/
+//! `par_chunks` on slices, `map`/`map_init`/`enumerate` combinators, the
+//! `for_each`/`try_for_each(_init)`/`collect`/`try_reduce` terminals, and
+//! `par_sort_unstable_by_key`.
+//!
+//! Execution model: the source is split into one contiguous part per worker
+//! and driven on `std::thread::scope` threads. Per-thread state (`map_init`,
+//! `*_for_each_init`) is created once per worker, matching rayon's
+//! "at least once per split" contract. Thread count comes from
+//! `RAYON_NUM_THREADS` (re-read on every call so tests and benches can
+//! adjust it) falling back to `std::thread::available_parallelism`. With one
+//! item or one thread everything runs inline on the caller's thread.
+
+use std::ops::Range;
+
+/// Number of worker threads a parallel call may use.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Sources: splittable producers of (global_index, item)
+// ---------------------------------------------------------------------------
+
+/// A splittable input domain. `visit` yields items together with their global
+/// index (stable across splits) so `enumerate` works after partitioning.
+pub trait ParSource: Sized + Send {
+    type Item: Send;
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    fn split_at(self, index: usize) -> (Self, Self);
+    fn visit<F: FnMut(usize, Self::Item)>(self, f: F);
+}
+
+pub struct RangeSource<T> {
+    cur: T,
+    end: T,
+    base: usize,
+}
+
+macro_rules! range_source {
+    ($($t:ty),*) => {$(
+        impl ParSource for RangeSource<$t> {
+            type Item = $t;
+
+            fn len(&self) -> usize {
+                if self.end > self.cur {
+                    (self.end - self.cur) as usize
+                } else {
+                    0
+                }
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.cur + index as $t;
+                (
+                    RangeSource { cur: self.cur, end: mid, base: self.base },
+                    RangeSource { cur: mid, end: self.end, base: self.base + index },
+                )
+            }
+
+            fn visit<F: FnMut(usize, $t)>(mut self, mut f: F) {
+                let mut idx = self.base;
+                while self.cur < self.end {
+                    f(idx, self.cur);
+                    self.cur += 1;
+                    idx += 1;
+                }
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = ParIter<RangeSource<$t>, IdentityStage>;
+
+            fn into_par_iter(self) -> Self::Iter {
+                ParIter::new(RangeSource { cur: self.start, end: self.end, base: 0 })
+            }
+        }
+    )*};
+}
+
+range_source!(u32, u64, usize, i32, i64);
+
+pub struct VecSource<T> {
+    items: Vec<T>,
+    base: usize,
+}
+
+impl<T: Send> ParSource for VecSource<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.items.split_off(index);
+        let tail_base = self.base + index;
+        (
+            self,
+            VecSource {
+                items: tail,
+                base: tail_base,
+            },
+        )
+    }
+
+    fn visit<F: FnMut(usize, T)>(self, mut f: F) {
+        let base = self.base;
+        for (i, item) in self.items.into_iter().enumerate() {
+            f(base + i, item);
+        }
+    }
+}
+
+pub struct SliceSource<'a, T> {
+    slice: &'a [T],
+    base: usize,
+}
+
+impl<'a, T: Sync> ParSource for SliceSource<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (head, tail) = self.slice.split_at(index);
+        (
+            SliceSource {
+                slice: head,
+                base: self.base,
+            },
+            SliceSource {
+                slice: tail,
+                base: self.base + index,
+            },
+        )
+    }
+
+    fn visit<F: FnMut(usize, &'a T)>(self, mut f: F) {
+        for (i, item) in self.slice.iter().enumerate() {
+            f(self.base + i, item);
+        }
+    }
+}
+
+pub struct SliceMutSource<'a, T> {
+    slice: &'a mut [T],
+    base: usize,
+}
+
+impl<'a, T: Send> ParSource for SliceMutSource<'a, T> {
+    type Item = &'a mut T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (head, tail) = self.slice.split_at_mut(index);
+        (
+            SliceMutSource {
+                slice: head,
+                base: self.base,
+            },
+            SliceMutSource {
+                slice: tail,
+                base: self.base + index,
+            },
+        )
+    }
+
+    fn visit<F: FnMut(usize, &'a mut T)>(self, mut f: F) {
+        for (i, item) in self.slice.iter_mut().enumerate() {
+            f(self.base + i, item);
+        }
+    }
+}
+
+pub struct ChunksSource<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+    base: usize,
+}
+
+impl<'a, T: Sync> ParSource for ChunksSource<'a, T> {
+    type Item = &'a [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let split = (index * self.chunk).min(self.slice.len());
+        let (head, tail) = self.slice.split_at(split);
+        (
+            ChunksSource {
+                slice: head,
+                chunk: self.chunk,
+                base: self.base,
+            },
+            ChunksSource {
+                slice: tail,
+                chunk: self.chunk,
+                base: self.base + index,
+            },
+        )
+    }
+
+    fn visit<F: FnMut(usize, &'a [T])>(self, mut f: F) {
+        for (i, c) in self.slice.chunks(self.chunk).enumerate() {
+            f(self.base + i, c);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stages: composable per-item transforms with per-worker state
+// ---------------------------------------------------------------------------
+
+pub trait Stage<In>: Sync {
+    type Out;
+    type State;
+    fn init(&self) -> Self::State;
+    fn apply(&self, state: &mut Self::State, index: usize, item: In) -> Self::Out;
+}
+
+pub struct IdentityStage;
+
+impl<In> Stage<In> for IdentityStage {
+    type Out = In;
+    type State = ();
+    fn init(&self) {}
+    fn apply(&self, _: &mut (), _: usize, item: In) -> In {
+        item
+    }
+}
+
+pub struct MapStage<F> {
+    f: F,
+}
+
+impl<In, Out, F: Fn(In) -> Out + Sync> Stage<In> for MapStage<F> {
+    type Out = Out;
+    type State = ();
+    fn init(&self) {}
+    fn apply(&self, _: &mut (), _: usize, item: In) -> Out {
+        (self.f)(item)
+    }
+}
+
+pub struct MapInitStage<I, F> {
+    init: I,
+    f: F,
+}
+
+impl<In, T, Out, I, F> Stage<In> for MapInitStage<I, F>
+where
+    I: Fn() -> T + Sync,
+    F: Fn(&mut T, In) -> Out + Sync,
+{
+    type Out = Out;
+    type State = T;
+    fn init(&self) -> T {
+        (self.init)()
+    }
+    fn apply(&self, state: &mut T, _: usize, item: In) -> Out {
+        (self.f)(state, item)
+    }
+}
+
+pub struct EnumerateStage;
+
+impl<In> Stage<In> for EnumerateStage {
+    type Out = (usize, In);
+    type State = ();
+    fn init(&self) {}
+    fn apply(&self, _: &mut (), index: usize, item: In) -> (usize, In) {
+        (index, item)
+    }
+}
+
+pub struct Chain<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<In, A, B> Stage<In> for Chain<A, B>
+where
+    A: Stage<In>,
+    B: Stage<A::Out>,
+{
+    type Out = B::Out;
+    type State = (A::State, B::State);
+    fn init(&self) -> Self::State {
+        (self.a.init(), self.b.init())
+    }
+    fn apply(&self, state: &mut Self::State, index: usize, item: In) -> Self::Out {
+        let mid = self.a.apply(&mut state.0, index, item);
+        self.b.apply(&mut state.1, index, mid)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The parallel iterator
+// ---------------------------------------------------------------------------
+
+pub struct ParIter<S, St> {
+    src: S,
+    stage: St,
+}
+
+impl<S: ParSource> ParIter<S, IdentityStage> {
+    fn new(src: S) -> Self {
+        ParIter {
+            src,
+            stage: IdentityStage,
+        }
+    }
+}
+
+impl<S, St> ParIter<S, St>
+where
+    S: ParSource,
+    St: Stage<S::Item> + Sync,
+{
+    pub fn map<F, R>(self, f: F) -> ParIter<S, Chain<St, MapStage<F>>>
+    where
+        F: Fn(St::Out) -> R + Sync,
+    {
+        ParIter {
+            src: self.src,
+            stage: Chain {
+                a: self.stage,
+                b: MapStage { f },
+            },
+        }
+    }
+
+    pub fn map_init<I, T, F, R>(self, init: I, f: F) -> ParIter<S, Chain<St, MapInitStage<I, F>>>
+    where
+        I: Fn() -> T + Sync,
+        F: Fn(&mut T, St::Out) -> R + Sync,
+    {
+        ParIter {
+            src: self.src,
+            stage: Chain {
+                a: self.stage,
+                b: MapInitStage { init, f },
+            },
+        }
+    }
+
+    pub fn enumerate(self) -> ParIter<S, Chain<St, EnumerateStage>> {
+        ParIter {
+            src: self.src,
+            stage: Chain {
+                a: self.stage,
+                b: EnumerateStage,
+            },
+        }
+    }
+
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+
+    /// Split the source across workers and fold every item into a per-worker
+    /// accumulator; returns one accumulator per worker in source order.
+    fn drive<Acc, MK, STEP>(self, mk: MK, step: STEP) -> Vec<Acc>
+    where
+        Acc: Send,
+        MK: Fn() -> Acc + Sync,
+        STEP: Fn(&mut Acc, St::Out) + Sync,
+    {
+        let len = self.src.len();
+        let workers = current_num_threads().min(len).max(1);
+        let stage = &self.stage;
+        if workers <= 1 {
+            let mut state = stage.init();
+            let mut acc = mk();
+            self.src
+                .visit(|i, x| step(&mut acc, stage.apply(&mut state, i, x)));
+            return vec![acc];
+        }
+        let chunk = len.div_ceil(workers);
+        let mut parts = Vec::with_capacity(workers);
+        let mut rest = self.src;
+        while rest.len() > chunk {
+            let (head, tail) = rest.split_at(chunk);
+            parts.push(head);
+            rest = tail;
+        }
+        parts.push(rest);
+        let mk = &mk;
+        let step = &step;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|part| {
+                    scope.spawn(move || {
+                        let mut state = stage.init();
+                        let mut acc = mk();
+                        part.visit(|i, x| step(&mut acc, stage.apply(&mut state, i, x)));
+                        acc
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon shim worker panicked"))
+                .collect()
+        })
+    }
+
+    pub fn for_each<OP>(self, op: OP)
+    where
+        OP: Fn(St::Out) + Sync,
+    {
+        self.drive(|| (), |_, out| op(out));
+    }
+
+    pub fn for_each_init<I, T, OP>(self, init: I, op: OP)
+    where
+        I: Fn() -> T + Sync,
+        OP: Fn(&mut T, St::Out) + Sync,
+    {
+        self.map_init(init, op).for_each(|()| {});
+    }
+
+    pub fn try_for_each<OP, E>(self, op: OP) -> Result<(), E>
+    where
+        OP: Fn(St::Out) -> Result<(), E> + Sync,
+        E: Send,
+    {
+        let chunks = self.drive(
+            || Ok(()),
+            |acc: &mut Result<(), E>, out| {
+                if acc.is_ok() {
+                    *acc = op(out);
+                }
+            },
+        );
+        for c in chunks {
+            c?;
+        }
+        Ok(())
+    }
+
+    pub fn try_for_each_init<I, T, OP, E>(self, init: I, op: OP) -> Result<(), E>
+    where
+        I: Fn() -> T + Sync,
+        OP: Fn(&mut T, St::Out) -> Result<(), E> + Sync,
+        E: Send,
+    {
+        self.map_init(init, op).try_for_each(|r| r)
+    }
+
+    pub fn collect<C>(self) -> C
+    where
+        St::Out: Send,
+        C: FromParallelIterator<St::Out>,
+    {
+        let chunks = self.drive(Vec::new, |v, x| v.push(x));
+        C::from_par_chunks(chunks)
+    }
+
+    pub fn count(self) -> usize {
+        let chunks = self.drive(|| 0usize, |n, _| *n += 1);
+        chunks.into_iter().sum()
+    }
+
+    pub fn sum<T>(self) -> T
+    where
+        St: Stage<S::Item, Out = T>,
+        T: Send + std::iter::Sum<T>,
+    {
+        let chunks = self.drive(Vec::new, |v: &mut Vec<T>, x| v.push(x));
+        chunks.into_iter().flatten().sum()
+    }
+
+    pub fn reduce<T, ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        St: Stage<S::Item, Out = T>,
+        T: Send,
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
+    {
+        let step = |acc: &mut T, v: T| {
+            let prev = std::mem::replace(acc, identity());
+            *acc = op(prev, v);
+        };
+        let chunks = self.drive(&identity, step);
+        let mut total = identity();
+        for c in chunks {
+            total = op(total, c);
+        }
+        total
+    }
+
+    pub fn try_reduce<T, E, ID, OP>(self, identity: ID, op: OP) -> Result<T, E>
+    where
+        St: Stage<S::Item, Out = Result<T, E>>,
+        T: Send,
+        E: Send,
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> Result<T, E> + Sync,
+    {
+        let step = |acc: &mut Result<T, E>, v: Result<T, E>| {
+            if acc.is_err() {
+                return;
+            }
+            match v {
+                Err(e) => *acc = Err(e),
+                Ok(v) => {
+                    if let Ok(prev) = std::mem::replace(acc, Ok(identity())) {
+                        *acc = op(prev, v);
+                    }
+                }
+            }
+        };
+        let chunks = self.drive(|| Ok(identity()), step);
+        let mut total: Result<T, E> = Ok(identity());
+        for c in chunks {
+            step(&mut total, c);
+        }
+        total
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------------
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<VecSource<T>, IdentityStage>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter::new(VecSource {
+            items: self,
+            base: 0,
+        })
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = ParIter<SliceSource<'a, T>, IdentityStage>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter::new(SliceSource {
+            slice: self,
+            base: 0,
+        })
+    }
+}
+
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<SliceSource<'_, T>, IdentityStage>;
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksSource<'_, T>, IdentityStage>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<SliceSource<'_, T>, IdentityStage> {
+        ParIter::new(SliceSource {
+            slice: self,
+            base: 0,
+        })
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksSource<'_, T>, IdentityStage> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParIter::new(ChunksSource {
+            slice: self,
+            chunk: chunk_size,
+            base: 0,
+        })
+    }
+}
+
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutSource<'_, T>, IdentityStage>;
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutSource<'_, T>, IdentityStage> {
+        ParIter::new(SliceMutSource {
+            slice: self,
+            base: 0,
+        })
+    }
+
+    // Sorting runs sequentially: pattern-defeating quicksort is already close
+    // to memory bound at the core counts this shim targets.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.sort_unstable_by_key(key);
+    }
+}
+
+pub mod iter {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+pub mod slice {
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+pub trait FromParallelIterator<T> {
+    fn from_par_chunks(chunks: Vec<Vec<T>>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_chunks(chunks: Vec<Vec<T>>) -> Self {
+        let total = chunks.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for c in chunks {
+            out.extend(c);
+        }
+        out
+    }
+}
+
+impl<T: Send, E: Send> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_chunks(chunks: Vec<Vec<Result<T, E>>>) -> Self {
+        let total = chunks.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for c in chunks {
+            for r in c {
+                out.push(r?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn range_map_collect() {
+        let v: Vec<u64> = (0u64..100).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v.len(), 100);
+        assert_eq!(v[7], 14);
+        assert_eq!(v[99], 198);
+    }
+
+    #[test]
+    fn enumerate_indices_are_global() {
+        let data: Vec<u32> = (0..1000).collect();
+        let pairs: Vec<(usize, u32)> = data
+            .par_chunks(7)
+            .enumerate()
+            .map(|(i, c)| (i, c[0]))
+            .collect();
+        for (i, first) in &pairs {
+            assert_eq!(*first as usize, i * 7);
+        }
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let sum = AtomicU64::new(0);
+        (1u64..1001)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .for_each(|x| {
+                sum.fetch_add(x, Ordering::Relaxed);
+            });
+        assert_eq!(sum.load(Ordering::Relaxed), 500500);
+    }
+
+    #[test]
+    fn map_init_reuses_state_per_worker() {
+        let inits = AtomicU64::new(0);
+        let out: Vec<u64> = (0u64..64)
+            .into_par_iter()
+            .map_init(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0u64
+                },
+                |scratch, x| {
+                    *scratch += 1;
+                    x
+                },
+            )
+            .collect();
+        assert_eq!(out.len(), 64);
+        assert!(inits.load(Ordering::Relaxed) <= 64);
+    }
+
+    #[test]
+    fn try_reduce_short_circuits_errors() {
+        let ok: Result<u64, String> = (1u64..11)
+            .into_par_iter()
+            .map(Ok)
+            .try_reduce(|| 0, |a, b| Ok(a + b));
+        assert_eq!(ok, Ok(55));
+        let err: Result<u64, String> = (1u64..11)
+            .into_par_iter()
+            .map(|x| {
+                if x == 5 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .try_reduce(|| 0, |a, b| Ok(a + b));
+        assert_eq!(err, Err("boom".to_string()));
+    }
+
+    #[test]
+    fn try_for_each_collect_results() {
+        let r: Result<Vec<u64>, ()> = (0u64..32).into_par_iter().map(Ok).collect();
+        assert_eq!(r.unwrap().len(), 32);
+    }
+
+    #[test]
+    fn par_iter_mut_writes_through() {
+        let mut v = vec![0u32; 257];
+        v.par_iter_mut().enumerate().for_each(|(i, slot)| {
+            *slot = i as u32;
+        });
+        assert_eq!(v[256], 256);
+    }
+
+    #[test]
+    fn sort_by_key_matches_std() {
+        let mut a: Vec<u32> = (0..500).rev().collect();
+        a.par_sort_unstable_by_key(|&x| std::cmp::Reverse(x));
+        assert_eq!(a[0], 499);
+        assert_eq!(a[499], 0);
+    }
+}

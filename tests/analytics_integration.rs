@@ -26,7 +26,11 @@ fn bfs_reach_equals_component_size() {
     let roots = select_roots(data.csr().num_vertices(), 4, 9, |v| data.degree(v));
     for &root in &roots {
         let run = data
-            .run(root, &Scenario::DramPcieFlash.best_policy(), &BfsConfig::paper())
+            .run(
+                root,
+                &Scenario::DramPcieFlash.best_policy(),
+                &BfsConfig::paper(),
+            )
             .unwrap();
         validate_bfs_tree(&run.parent, root, &edges).unwrap();
         let component = cc.labels[root as usize];
@@ -42,7 +46,11 @@ fn separation_profile_matches_run_accounting() {
     let (_, data) = setup(10, 5);
     let root = select_roots(data.csr().num_vertices(), 1, 2, |v| data.degree(v))[0];
     let run = data
-        .run(root, &Scenario::DramPcieFlash.best_policy(), &BfsConfig::paper())
+        .run(
+            root,
+            &Scenario::DramPcieFlash.best_policy(),
+            &BfsConfig::paper(),
+        )
         .unwrap();
     let profile = separation_histogram(&run.parent, root).unwrap();
     assert_eq!(profile.reachable(), run.visited);
@@ -67,12 +75,20 @@ fn pseudo_diameter_at_least_first_sweep() {
     let (_, data) = setup(10, 33);
     let root = select_roots(data.csr().num_vertices(), 1, 3, |v| data.degree(v))[0];
     let run = data
-        .run(root, &Scenario::DramPcieFlash.best_policy(), &BfsConfig::paper())
+        .run(
+            root,
+            &Scenario::DramPcieFlash.best_policy(),
+            &BfsConfig::paper(),
+        )
         .unwrap();
-    let first = separation_histogram(&run.parent, root).unwrap().eccentricity();
-    let (d, _, _) =
-        pseudo_diameter(&data, root, &Scenario::DramPcieFlash.best_policy()).unwrap();
-    assert!(d >= first, "double sweep ({d}) must not shrink below the first ({first})");
+    let first = separation_histogram(&run.parent, root)
+        .unwrap()
+        .eccentricity();
+    let (d, _, _) = pseudo_diameter(&data, root, &Scenario::DramPcieFlash.best_policy()).unwrap();
+    assert!(
+        d >= first,
+        "double sweep ({d}) must not shrink below the first ({first})"
+    );
 }
 
 #[test]
@@ -85,7 +101,11 @@ fn giant_component_dominates_kronecker() {
     let root = select_roots(data.csr().num_vertices(), 1, 1, |v| data.degree(v))[0];
     let giant = cc.giant_id();
     let run = data
-        .run(root, &Scenario::DramPcieFlash.best_policy(), &BfsConfig::paper())
+        .run(
+            root,
+            &Scenario::DramPcieFlash.best_policy(),
+            &BfsConfig::paper(),
+        )
         .unwrap();
     if cc.labels[root as usize] == giant {
         assert_eq!(run.visited, cc.giant_size());

@@ -6,8 +6,10 @@
 use proptest::prelude::*;
 use sembfs::dist::{dist_hybrid_bfs, ClusterSpec, DistGraph};
 use sembfs::prelude::*;
+use sembfs_core::policy::PolicyCtx;
 use sembfs_csr::{build_csr, BuildOptions};
 use sembfs_graph500::validate::compute_levels;
+use sembfs_semext::{DramBackend, ReadAt, ShardedCachedStore, ShardedPageCache};
 
 fn arb_graph() -> impl Strategy<Value = (MemEdgeList, u32)> {
     (
@@ -99,5 +101,139 @@ proptest! {
         let b = compute_levels(&agg.parent, root).unwrap();
         prop_assert_eq!(a, b);
         prop_assert_eq!(sync.visited, agg.visited);
+    }
+}
+
+/// Replays a pre-baked per-level direction schedule (cycling when the
+/// search outlives it), forcing TD→BU→TD flips at levels no threshold
+/// policy would pick — the switching machinery must stay correct under
+/// *any* schedule, not just plausible ones.
+struct SchedulePolicy(Vec<Direction>);
+
+impl DirectionPolicy for SchedulePolicy {
+    fn decide(&self, ctx: &PolicyCtx) -> Direction {
+        self.0[(ctx.level as usize - 1) % self.0.len()]
+    }
+
+    fn label(&self) -> String {
+        "scheduled".to_string()
+    }
+}
+
+/// Deterministic byte/offset stream for the cache property (the shim
+/// proptest has no `Vec<u8>` strategy; a splitmix walk over the case's
+/// seed keeps every run reproducible).
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Any forced direction schedule — including strict alternation that
+    /// switches at *every* level — produces the reference levels and a
+    /// valid parent tree on small Kronecker graphs, in every scenario,
+    /// with the sharded page cache in front of the external stores.
+    #[test]
+    fn forced_direction_switches_match_reference(
+        scale in 3u32..7,
+        seed in any::<u64>(),
+        strict in any::<bool>(),
+        start_bu in any::<bool>(),
+        bits in proptest::collection::vec(any::<bool>(), 1..10),
+        scenario_pick in 0usize..3,
+        shards in 1usize..5,
+        readahead in 0usize..3,
+    ) {
+        let edges = KroneckerParams::graph500(scale, seed).generate();
+        let root = edges.as_slice()[0].0;
+
+        let csr = build_csr(&edges, BuildOptions::default()).unwrap();
+        let expect = compute_levels(&reference_bfs(&csr, root).parent, root).unwrap();
+
+        let schedule: Vec<Direction> = if strict {
+            // TD→BU→TD at every feasible level (optionally BU first).
+            (0..12)
+                .map(|i| {
+                    if (i + start_bu as usize).is_multiple_of(2) {
+                        Direction::TopDown
+                    } else {
+                        Direction::BottomUp
+                    }
+                })
+                .collect()
+        } else {
+            bits.iter()
+                .map(|&b| if b { Direction::BottomUp } else { Direction::TopDown })
+                .collect()
+        };
+
+        let data = ScenarioData::build(
+            &edges,
+            Scenario::ALL[scenario_pick],
+            ScenarioOptions {
+                topology: Topology::new(2, 1),
+                page_cache_bytes: Some(8 * 4096),
+                cache_shards: Some(shards),
+                cache_readahead_pages: readahead,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let run = data
+            .run(root, &SchedulePolicy(schedule), &BfsConfig::paper())
+            .unwrap();
+        let got = compute_levels(&run.parent, root).unwrap();
+        prop_assert_eq!(got, expect);
+        validate_bfs_tree(&run.parent, root, &edges).unwrap();
+    }
+
+    /// Reads through an undersized sharded cache are byte-identical to
+    /// the backing store under concurrent access, for any shard count,
+    /// capacity, and readahead window.
+    #[test]
+    fn sharded_cache_reads_match_backend(
+        len in 1usize..(1 << 16),
+        shards in 1usize..9,
+        cap_pages in 1u64..32,
+        readahead in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed;
+        let data: Vec<u8> = (0..len).map(|_| (mix(&mut state) >> 56) as u8).collect();
+
+        let device = Device::new(DeviceProfile::iodrive2(), DelayMode::Accounting);
+        let cache = ShardedPageCache::with_shards(cap_pages * 4096, shards);
+        cache.set_readahead_pages(readahead);
+        let store = ShardedCachedStore::new(DramBackend::new(data.clone()), device, cache.clone());
+
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let store = &store;
+                let data = &data;
+                scope.spawn(move || {
+                    let mut state = seed ^ t.wrapping_mul(0xA076_1D64_78BD_642F);
+                    for _ in 0..32 {
+                        let r = mix(&mut state);
+                        let off = (r as usize) % data.len();
+                        let max = (data.len() - off).min(3 * 4096);
+                        let want = 1 + (r >> 40) as usize % max;
+                        let mut buf = vec![0u8; want];
+                        store.read_at(off as u64, &mut buf).unwrap();
+                        assert_eq!(&buf[..], &data[off..off + want], "offset {off}");
+                    }
+                });
+            }
+        });
+
+        // Every read was classified: demand accesses all counted, and the
+        // cache never holds more than its budget.
+        let (hits, misses) = cache.stats();
+        prop_assert!(hits + misses > 0);
+        prop_assert!(cache.resident_pages() as u64 <= cap_pages.max(1));
     }
 }
