@@ -31,6 +31,28 @@ pub struct SeparationProfile {
 }
 
 impl SeparationProfile {
+    /// Build the histogram from a per-vertex level array (the output of a
+    /// distances-only BFS, [`sembfs_core::hybrid_bfs_distances`]).
+    pub fn from_levels(levels: &[u32], seed: VertexId) -> Self {
+        let mut counts = Vec::new();
+        let mut unreachable = 0u64;
+        for &l in levels {
+            if l == INVALID_LEVEL {
+                unreachable += 1;
+                continue;
+            }
+            if counts.len() <= l as usize {
+                counts.resize(l as usize + 1, 0);
+            }
+            counts[l as usize] += 1;
+        }
+        Self {
+            seed,
+            counts,
+            unreachable,
+        }
+    }
+
     /// The farthest reached distance (0 for an isolated seed).
     pub fn eccentricity(&self) -> u32 {
         (self.counts.len() as u32).saturating_sub(1)
@@ -84,26 +106,25 @@ pub fn separation_histogram(parent: &[VertexId], seed: VertexId) -> Result<Separ
 /// Double-sweep pseudo-diameter: BFS from `start`, re-run from a farthest
 /// vertex, and report that eccentricity — a standard lower bound on the
 /// true diameter that is usually tight on small-world graphs. Both sweeps
-/// run through the scenario's (possibly semi-external) layout.
+/// run through the scenario's (possibly semi-external) layout as
+/// *distances-only* BFS — no parent tree is allocated and no parent-chain
+/// level recovery runs, since only eccentricities are consumed.
 pub fn pseudo_diameter(
     data: &ScenarioData,
     start: VertexId,
     policy: &dyn DirectionPolicy,
 ) -> Result<(u32, VertexId, VertexId)> {
-    let first = data.run(start, policy, &BfsConfig::paper())?;
-    let profile = separation_histogram(&first.parent, start)?;
-    let ecc = profile.eccentricity();
+    let first = data.run_distances(start, policy, &BfsConfig::paper())?;
+    let ecc = first.max_level;
     // A vertex on the last level.
-    let levels = compute_levels(&first.parent, start)
-        .map_err(|e| sembfs_semext::Error::Corrupt(e.to_string()))?;
-    let far = levels
+    let far = first
+        .levels
         .iter()
         .position(|&l| l == ecc)
         .map(|v| v as VertexId)
         .unwrap_or(start);
-    let second = data.run(far, policy, &BfsConfig::paper())?;
-    let ecc2 = separation_histogram(&second.parent, far)?.eccentricity();
-    Ok((ecc.max(ecc2), far, start))
+    let second = data.run_distances(far, policy, &BfsConfig::paper())?;
+    Ok((ecc.max(second.max_level), far, start))
 }
 
 #[cfg(test)]
@@ -123,6 +144,14 @@ mod tests {
         assert_eq!(p.reachable(), 4);
         assert_eq!(p.unreachable, 1);
         assert!((p.mean_separation() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_levels_matches_parent_histogram() {
+        let parent = vec![0, 0, 1, 2, INVALID_PARENT];
+        let via_parent = separation_histogram(&parent, 0).unwrap();
+        let via_levels = SeparationProfile::from_levels(&[0, 1, 2, 3, INVALID_LEVEL], 0);
+        assert_eq!(via_parent, via_levels);
     }
 
     #[test]

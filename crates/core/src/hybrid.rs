@@ -6,6 +6,7 @@
 //! level (including the monitored NVM device's I/O delta, which feeds
 //! Figs. 11–13).
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -139,6 +140,179 @@ impl BfsRun {
     pub fn scanned_edges(&self) -> u64 {
         self.levels.iter().map(|l| l.scanned_edges).sum()
     }
+}
+
+/// The result of a distances-only hybrid BFS ([`hybrid_bfs_distances`]).
+#[derive(Debug, Clone)]
+pub struct DistanceRun {
+    /// Per-vertex hop count from the root
+    /// ([`sembfs_graph500::validate::INVALID_LEVEL`] for unreached).
+    pub levels: Vec<u32>,
+    /// Vertices reached (including the root).
+    pub visited: u64,
+    /// Deepest level reached (0 for an isolated root).
+    pub max_level: u32,
+    /// Total kernel wall time (sum of level times).
+    pub elapsed: Duration,
+}
+
+/// Run a hybrid BFS from `root` recording only per-vertex *distances* —
+/// no parent tree is built and no TEPS edge sweep runs.
+///
+/// Consumers that only need eccentricities or point distances (the
+/// pseudo-diameter double sweep, the query engine's `Distance` path) would
+/// otherwise pay for a parent array *and* an `O(n·depth)` parent-chain
+/// walk to recover levels; this entry point writes each level number
+/// directly as its frontier is discovered. One `n`-word scratch array is
+/// shared with the step kernels (they scribble parent ids into it, which
+/// are overwritten with the level number before the next step reads
+/// nothing from it — the kernels arbitrate purely through the visited
+/// bitmap).
+pub fn hybrid_bfs_distances<G, B, P>(
+    forward: &G,
+    backward: &B,
+    root: VertexId,
+    policy: &P,
+    cfg: &BfsConfig,
+) -> Result<DistanceRun>
+where
+    G: DomainNeighbors,
+    B: BottomUpSource,
+    P: DirectionPolicy + ?Sized,
+{
+    let n = forward.num_vertices();
+    assert_eq!(
+        n,
+        backward.partition().num_vertices(),
+        "graph size mismatch"
+    );
+    assert!((root as u64) < n, "root out of range");
+    let batch = if cfg.batch == 0 { 64 } else { cfg.batch };
+    let reader = cfg.reader.unwrap_or_else(ChunkedReader::unmerged);
+    let aggregate = cfg.aggregate_io;
+    if let Some(cache) = &cfg.cache_monitor {
+        if let Some(bytes) = cfg.cache_capacity_bytes {
+            cache.set_capacity_bytes(bytes);
+        }
+        if let Some(pages) = cfg.cache_readahead_pages {
+            cache.set_readahead_pages(pages);
+        }
+    }
+    let ctx_cache = cfg.cache_monitor.clone();
+    let make_ctx = move || {
+        let mut ctx = NeighborCtx::new(reader);
+        if aggregate {
+            ctx = ctx.with_aggregation();
+        }
+        if let Some(cache) = &ctx_cache {
+            ctx = ctx.with_cache(cache.clone());
+        }
+        ctx
+    };
+
+    // The kernels' scratch array: they store parent ids for vertices they
+    // claim; we overwrite each claim with its level before returning.
+    let scratch = new_parent_array(n, root);
+    let visited = AtomicBitmap::new(n);
+    visited.set(root);
+
+    let mut queue: Vec<VertexId> = vec![root];
+    let mut front_bm = AtomicBitmap::new(n);
+    let mut next_bm = AtomicBitmap::new(n);
+    let mut bitmap_current = false;
+
+    let mut direction = Direction::TopDown;
+    let mut prev_frontier = 0u64;
+    let mut frontier_size = 1u64;
+    let mut visited_count = 1u64;
+    let mut level = 1u32;
+    let mut max_level = 0u32;
+    let mut elapsed = Duration::ZERO;
+
+    while frontier_size > 0 {
+        let frontier_edges = if cfg.count_frontier_edges {
+            let mut ctx = make_ctx();
+            let mut sum = 0u64;
+            if bitmap_current {
+                for v in front_bm.iter_ones() {
+                    sum += backward.full_degree(v, &mut ctx)?;
+                }
+            } else {
+                for &v in &queue {
+                    sum += backward.full_degree(v, &mut ctx)?;
+                }
+            }
+            Some(sum)
+        } else {
+            None
+        };
+        let decided = policy.decide(&PolicyCtx {
+            current: direction,
+            level,
+            n_all: n,
+            frontier: frontier_size,
+            prev_frontier,
+            frontier_edges,
+            unvisited: n - visited_count,
+        });
+
+        match decided {
+            Direction::TopDown if bitmap_current => {
+                queue = bitmap_to_queue(&front_bm);
+                bitmap_current = false;
+            }
+            Direction::BottomUp if !bitmap_current => {
+                front_bm.clear();
+                queue_to_bitmap(&queue, &front_bm);
+                bitmap_current = true;
+            }
+            _ => {}
+        }
+        direction = decided;
+
+        let t0 = Instant::now();
+        let discovered = match direction {
+            Direction::TopDown => {
+                let out = top_down_step(forward, &queue, &scratch, &visited, batch, &make_ctx)?;
+                for &w in &out.next {
+                    scratch[w as usize].store(level, Ordering::Relaxed);
+                }
+                let d = out.next.len() as u64;
+                queue = out.next;
+                d
+            }
+            Direction::BottomUp => {
+                next_bm.clear();
+                let out =
+                    bottom_up_step(backward, &front_bm, &next_bm, &scratch, &visited, &make_ctx)?;
+                std::mem::swap(&mut front_bm, &mut next_bm);
+                for w in front_bm.iter_ones() {
+                    scratch[w as usize].store(level, Ordering::Relaxed);
+                }
+                out.discovered
+            }
+        };
+        elapsed += t0.elapsed();
+
+        if discovered > 0 {
+            max_level = level;
+        }
+        visited_count += discovered;
+        prev_frontier = frontier_size;
+        frontier_size = discovered;
+        level += 1;
+    }
+
+    // The root's slot holds its self-parent (== root); every other claimed
+    // slot was overwritten with its level. Unreached slots hold
+    // INVALID_PARENT, which is the same bit pattern as INVALID_LEVEL.
+    scratch[root as usize].store(0, Ordering::Relaxed);
+    Ok(DistanceRun {
+        levels: snapshot_parents(&scratch),
+        visited: visited_count,
+        max_level,
+        elapsed,
+    })
 }
 
 /// Run a hybrid BFS from `root` over `forward`/`backward` using `policy`.
@@ -494,6 +668,35 @@ mod tests {
         .unwrap();
         let per_level: u64 = run.levels.iter().map(|l| l.scanned_edges).sum();
         assert_eq!(run.scanned_edges(), per_level);
+    }
+
+    #[test]
+    fn distances_match_parent_tree_levels() {
+        use sembfs_graph500::validate::{compute_levels, INVALID_LEVEL};
+        let (fg, bg) = star_tail();
+        for policy in [
+            FixedPolicy(Direction::TopDown),
+            FixedPolicy(Direction::BottomUp),
+        ] {
+            let run = hybrid_bfs(&fg, &bg, 0, &policy, &BfsConfig::paper()).unwrap();
+            let want = compute_levels(&run.parent, 0).unwrap();
+            let got = hybrid_bfs_distances(&fg, &bg, 0, &policy, &BfsConfig::paper()).unwrap();
+            assert_eq!(got.levels, want, "policy {policy:?}");
+            assert_eq!(got.visited, run.visited);
+            assert_eq!(got.max_level, 3);
+            assert_eq!(got.levels[7], INVALID_LEVEL);
+        }
+        // Hybrid policy (switches mid-run) must agree too.
+        let hybrid = hybrid_bfs_distances(
+            &fg,
+            &bg,
+            0,
+            &AlphaBetaPolicy::new(1e9, 1e9),
+            &BfsConfig::paper(),
+        )
+        .unwrap();
+        assert_eq!(hybrid.levels[6], 3);
+        assert_eq!(hybrid.levels[0], 0);
     }
 
     #[test]

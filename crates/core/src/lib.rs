@@ -40,7 +40,7 @@ pub mod tree;
 pub use bitmap::AtomicBitmap;
 pub use bottomup::{BottomUpSource, SearchOutcome};
 pub use energy::PowerModel;
-pub use hybrid::{hybrid_bfs, BfsConfig, BfsRun};
+pub use hybrid::{hybrid_bfs, hybrid_bfs_distances, BfsConfig, BfsRun, DistanceRun};
 pub use level_stats::{Direction, LevelStats};
 pub use policy::{AlphaBetaPolicy, BeamerPolicy, DirectionPolicy, FixedPolicy};
 pub use reference::reference_bfs;

@@ -27,10 +27,29 @@ use sembfs_semext::{
     ShardedCachedStore, ShardedPageCache, TempDir,
 };
 
-use crate::hybrid::{hybrid_bfs, BfsConfig, BfsRun};
+use crate::hybrid::{hybrid_bfs, hybrid_bfs_distances, BfsConfig, BfsRun, DistanceRun};
 use crate::policy::DirectionPolicy;
 use crate::tree::status_data_bytes;
 use crate::{AlphaBetaPolicy, VertexId};
+
+use sembfs_csr::{DomainNeighbors, NeighborCtx};
+
+/// Hand every forward neighbor of `v` (across all domains) to `f`.
+fn visit_forward<G: DomainNeighbors>(
+    g: &G,
+    v: VertexId,
+    ctx: &mut NeighborCtx,
+    f: &mut dyn FnMut(VertexId),
+) -> Result<()> {
+    for k in 0..g.num_domains() {
+        g.with_neighbors(k, v, ctx, |ns| {
+            for &w in ns {
+                f(w);
+            }
+        })?;
+    }
+    Ok(())
+}
 
 /// The three machine configurations of Table I.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -420,6 +439,76 @@ impl ScenarioData {
         self.csr.degree(v)
     }
 
+    /// Number of vertices in the graph.
+    pub fn num_vertices(&self) -> u64 {
+        self.csr.num_vertices()
+    }
+
+    /// A per-thread neighbor-read scratch wired for this scenario: the
+    /// device's merge-aware chunk reader and the page cache (when
+    /// configured) are attached, so point reads behave exactly like the
+    /// BFS kernels' reads. Query workers hold one each.
+    pub fn neighbor_ctx(&self) -> NeighborCtx {
+        let reader = match &self.device {
+            Some(dev) => ChunkedReader::for_device(dev),
+            None => ChunkedReader::unmerged(),
+        };
+        let mut ctx = NeighborCtx::new(reader);
+        if let Some(cache) = &self.page_cache {
+            ctx = ctx.with_cache(cache.clone());
+        }
+        ctx
+    }
+
+    /// Hand every *forward* neighbor of `v` to `f`, reading through the
+    /// scenario's configured store (DRAM, pread, mmap, or cached). On
+    /// NVM scenarios this meters the device like any top-down expansion.
+    pub fn for_each_forward_neighbor(
+        &self,
+        v: VertexId,
+        ctx: &mut NeighborCtx,
+        f: &mut dyn FnMut(VertexId),
+    ) -> Result<()> {
+        match &self.forward {
+            ForwardStore::Dram(g) => visit_forward(g, v, ctx, f),
+            ForwardStore::Ext(g) => visit_forward(g, v, ctx, f),
+            ForwardStore::ExtMmap(g) => visit_forward(g, v, ctx, f),
+            ForwardStore::ExtCached(g) => visit_forward(g, v, ctx, f),
+        }
+    }
+
+    /// Hand every *backward* neighbor of `v` to `f`. With a split
+    /// backward graph the DRAM head is served first, then the offloaded
+    /// tail is streamed from the device.
+    pub fn for_each_backward_neighbor(
+        &self,
+        v: VertexId,
+        ctx: &mut NeighborCtx,
+        f: &mut dyn FnMut(VertexId),
+    ) -> Result<()> {
+        match &self.backward {
+            BackwardStore::Dram(g) => {
+                for &w in g.neighbors(v) {
+                    f(w);
+                }
+                Ok(())
+            }
+            BackwardStore::Split(g) => {
+                for &w in g.head_neighbors(v) {
+                    f(w);
+                }
+                if g.tail_degree(v)? > 0 {
+                    g.with_tail_neighbors(v, ctx, |ns| {
+                        for &w in ns {
+                            f(w);
+                        }
+                    })?;
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Forward-graph size in bytes (DRAM or NVM, Table II row 1).
     pub fn forward_bytes(&self) -> u64 {
         use sembfs_csr::DomainNeighbors;
@@ -460,16 +549,9 @@ impl ScenarioData {
         status_data_bytes(self.csr.num_vertices(), self.partition.num_domains())
     }
 
-    /// Run one BFS from `root` under `policy`.
-    ///
-    /// The config is augmented with the scenario's device: its merge-aware
-    /// chunk reader and (if none was set) its I/O monitor.
-    pub fn run(
-        &self,
-        root: VertexId,
-        policy: &dyn DirectionPolicy,
-        cfg: &BfsConfig,
-    ) -> Result<BfsRun> {
+    /// Augment a caller config with the scenario's device (merge-aware
+    /// chunk reader + I/O monitor) and page cache, where unset.
+    fn augment_cfg(&self, cfg: &BfsConfig) -> BfsConfig {
         let mut cfg = cfg.clone();
         if let Some(dev) = &self.device {
             if cfg.reader.is_none() {
@@ -484,6 +566,20 @@ impl ScenarioData {
                 cfg.cache_monitor = Some(cache.clone());
             }
         }
+        cfg
+    }
+
+    /// Run one BFS from `root` under `policy`.
+    ///
+    /// The config is augmented with the scenario's device: its merge-aware
+    /// chunk reader and (if none was set) its I/O monitor.
+    pub fn run(
+        &self,
+        root: VertexId,
+        policy: &dyn DirectionPolicy,
+        cfg: &BfsConfig,
+    ) -> Result<BfsRun> {
+        let cfg = self.augment_cfg(cfg);
         match (&self.forward, &self.backward) {
             (ForwardStore::Dram(f), BackwardStore::Dram(b)) => hybrid_bfs(f, b, root, policy, &cfg),
             (ForwardStore::Dram(f), BackwardStore::Split(b)) => {
@@ -502,6 +598,45 @@ impl ScenarioData {
             }
             (ForwardStore::ExtCached(f), BackwardStore::Split(b)) => {
                 hybrid_bfs(f, b, root, policy, &cfg)
+            }
+        }
+    }
+
+    /// Run one *distances-only* BFS from `root` under `policy` — no
+    /// parent tree, no TEPS sweep (see
+    /// [`hybrid_bfs_distances`](crate::hybrid::hybrid_bfs_distances)).
+    /// The config is augmented exactly like [`run`](Self::run).
+    pub fn run_distances(
+        &self,
+        root: VertexId,
+        policy: &dyn DirectionPolicy,
+        cfg: &BfsConfig,
+    ) -> Result<DistanceRun> {
+        let cfg = self.augment_cfg(cfg);
+        match (&self.forward, &self.backward) {
+            (ForwardStore::Dram(f), BackwardStore::Dram(b)) => {
+                hybrid_bfs_distances(f, b, root, policy, &cfg)
+            }
+            (ForwardStore::Dram(f), BackwardStore::Split(b)) => {
+                hybrid_bfs_distances(f, b, root, policy, &cfg)
+            }
+            (ForwardStore::Ext(f), BackwardStore::Dram(b)) => {
+                hybrid_bfs_distances(f, b, root, policy, &cfg)
+            }
+            (ForwardStore::Ext(f), BackwardStore::Split(b)) => {
+                hybrid_bfs_distances(f, b, root, policy, &cfg)
+            }
+            (ForwardStore::ExtMmap(f), BackwardStore::Dram(b)) => {
+                hybrid_bfs_distances(f, b, root, policy, &cfg)
+            }
+            (ForwardStore::ExtMmap(f), BackwardStore::Split(b)) => {
+                hybrid_bfs_distances(f, b, root, policy, &cfg)
+            }
+            (ForwardStore::ExtCached(f), BackwardStore::Dram(b)) => {
+                hybrid_bfs_distances(f, b, root, policy, &cfg)
+            }
+            (ForwardStore::ExtCached(f), BackwardStore::Split(b)) => {
+                hybrid_bfs_distances(f, b, root, policy, &cfg)
             }
         }
     }

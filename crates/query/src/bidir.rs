@@ -1,0 +1,229 @@
+//! Bidirectional point-to-point BFS over a scenario's data layout.
+//!
+//! Two level-synchronous searches run toward each other: the source side
+//! expands through the *forward* store (NVM-resident in the semi-external
+//! scenarios — its frontier stays small, exactly the regime the paper
+//! offloads), the destination side through the *backward* store (DRAM).
+//! Each round expands whichever frontier is smaller.
+//!
+//! **Meeting rule.** Candidates are caught at edge-scan time: when the
+//! source side scans an edge `(v, w)` and `w` already carries a
+//! destination label, the connecting length `dist_s(v) + 1 + dist_t(w)`
+//! is a candidate; symmetrically for the destination side. After the
+//! source side has run `ds` rounds and the destination side `dt`, every
+//! path of length ≤ `ds + dt − 1` has been caught (each such path has an
+//! edge both of whose endpoint labels precede one of the two scans of
+//! that edge), so the loop keeps expanding while
+//! `best.is_none() || ds + dt < best` and the surviving `best` is the
+//! exact shortest-path length. An exhausted frontier also terminates:
+//! the exhausted side's labels are then exact distances, and the very
+//! first edge scan into the opposite endpoint (labeled 0 from the start)
+//! recorded the exact candidate — no candidate means unreachable.
+
+use sembfs_core::{ScenarioData, VertexId};
+use sembfs_graph500::validate::INVALID_LEVEL;
+use sembfs_graph500::INVALID_PARENT;
+use sembfs_semext::Result;
+
+/// The outcome of one [`bidirectional_search`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BidirOutcome {
+    /// Shortest-path hop count (`None` when disconnected).
+    pub distance: Option<u32>,
+    /// The reconstructed path (`src` first), when requested and reachable.
+    pub path: Option<Vec<VertexId>>,
+    /// Edges scanned by both sides together (the query's work metric).
+    pub scanned_edges: u64,
+}
+
+/// Which search side scans next.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Src,
+    Dst,
+}
+
+/// Point-to-point shortest path between `src` and `dst` by bidirectional
+/// BFS. Set `want_path` to also reconstruct one shortest path (costs two
+/// parent arrays); distance-only calls skip them.
+///
+/// Runs serially on the calling thread by design — the engine's
+/// parallelism axis is *queries across workers*, not edges within one
+/// query.
+pub fn bidirectional_search(
+    data: &ScenarioData,
+    src: VertexId,
+    dst: VertexId,
+    want_path: bool,
+) -> Result<BidirOutcome> {
+    let n = data.num_vertices();
+    assert!(
+        (src as u64) < n && (dst as u64) < n,
+        "endpoint out of range"
+    );
+    if src == dst {
+        return Ok(BidirOutcome {
+            distance: Some(0),
+            path: want_path.then(|| vec![src]),
+            scanned_edges: 0,
+        });
+    }
+
+    let n = n as usize;
+    let mut dist_s = vec![INVALID_LEVEL; n];
+    let mut dist_t = vec![INVALID_LEVEL; n];
+    dist_s[src as usize] = 0;
+    dist_t[dst as usize] = 0;
+    // parent_s[x] = predecessor of x toward src; parent_t[x] = successor
+    // of x toward dst.
+    let mut parent_s = if want_path {
+        vec![INVALID_PARENT; n]
+    } else {
+        Vec::new()
+    };
+    let mut parent_t = parent_s.clone();
+
+    let mut frontier_s = vec![src];
+    let mut frontier_t = vec![dst];
+    let mut depth_s = 0u32;
+    let mut depth_t = 0u32;
+    // (total length, meet edge a → b): a labeled by src side, b by dst side.
+    let mut best: Option<(u32, VertexId, VertexId)> = None;
+    let mut scanned = 0u64;
+    let mut ctx = data.neighbor_ctx();
+
+    loop {
+        if let Some((len, _, _)) = best {
+            if depth_s + depth_t >= len {
+                break;
+            }
+        }
+        let side = if frontier_s.is_empty() || frontier_t.is_empty() {
+            break;
+        } else if frontier_s.len() <= frontier_t.len() {
+            Side::Src
+        } else {
+            Side::Dst
+        };
+
+        match side {
+            Side::Src => {
+                let mut next = Vec::new();
+                for &v in &frontier_s {
+                    let dv = dist_s[v as usize];
+                    data.for_each_forward_neighbor(v, &mut ctx, &mut |w| {
+                        scanned += 1;
+                        let wi = w as usize;
+                        if dist_s[wi] == INVALID_LEVEL {
+                            dist_s[wi] = dv + 1;
+                            if want_path {
+                                parent_s[wi] = v;
+                            }
+                            next.push(w);
+                        }
+                        if dist_t[wi] != INVALID_LEVEL {
+                            let total = dv + 1 + dist_t[wi];
+                            if best.is_none_or(|(b, _, _)| total < b) {
+                                best = Some((total, v, w));
+                            }
+                        }
+                    })?;
+                }
+                frontier_s = next;
+                depth_s += 1;
+            }
+            Side::Dst => {
+                let mut next = Vec::new();
+                for &v in &frontier_t {
+                    let dv = dist_t[v as usize];
+                    data.for_each_backward_neighbor(v, &mut ctx, &mut |w| {
+                        scanned += 1;
+                        let wi = w as usize;
+                        if dist_t[wi] == INVALID_LEVEL {
+                            dist_t[wi] = dv + 1;
+                            if want_path {
+                                parent_t[wi] = v;
+                            }
+                            next.push(w);
+                        }
+                        if dist_s[wi] != INVALID_LEVEL {
+                            let total = dist_s[wi] + 1 + dv;
+                            if best.is_none_or(|(b, _, _)| total < b) {
+                                best = Some((total, w, v));
+                            }
+                        }
+                    })?;
+                }
+                frontier_t = next;
+                depth_t += 1;
+            }
+        }
+    }
+
+    let Some((len, meet_a, meet_b)) = best else {
+        return Ok(BidirOutcome {
+            distance: None,
+            path: None,
+            scanned_edges: scanned,
+        });
+    };
+    let path = want_path.then(|| {
+        // src ← … ← meet_a, then meet_b → … → dst.
+        let mut vertices = Vec::with_capacity(len as usize + 1);
+        let mut x = meet_a;
+        loop {
+            vertices.push(x);
+            if x == src {
+                break;
+            }
+            x = parent_s[x as usize];
+        }
+        vertices.reverse();
+        let mut x = meet_b;
+        loop {
+            vertices.push(x);
+            if x == dst {
+                break;
+            }
+            x = parent_t[x as usize];
+        }
+        debug_assert_eq!(vertices.len() as u32, len + 1);
+        vertices
+    });
+    Ok(BidirOutcome {
+        distance: Some(len),
+        path,
+        scanned_edges: scanned,
+    })
+}
+
+/// Sizes of the BFS rings around `v`: `counts[d]` = vertices exactly `d`
+/// hops away, expanded serially through the forward store up to `depth`
+/// hops (ring 0 is `v` itself).
+pub fn neighborhood(data: &ScenarioData, v: VertexId, depth: u32) -> Result<Vec<u64>> {
+    let n = data.num_vertices();
+    assert!((v as u64) < n, "vertex out of range");
+    let mut dist = vec![INVALID_LEVEL; n as usize];
+    dist[v as usize] = 0;
+    let mut counts = vec![1u64];
+    let mut frontier = vec![v];
+    let mut ctx = data.neighbor_ctx();
+    for d in 1..=depth {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            data.for_each_forward_neighbor(u, &mut ctx, &mut |w| {
+                let wi = w as usize;
+                if dist[wi] == INVALID_LEVEL {
+                    dist[wi] = d;
+                    next.push(w);
+                }
+            })?;
+        }
+        if next.is_empty() {
+            break;
+        }
+        counts.push(next.len() as u64);
+        frontier = next;
+    }
+    Ok(counts)
+}

@@ -1,0 +1,220 @@
+//! A small LRU cache of finished query results, keyed on the
+//! *canonicalized* endpoint pair so `ShortestPath{a,b}` and
+//! `ShortestPath{b,a}` share one entry (the underlying Graph500 graphs
+//! are undirected; a cached path is reversed on the way out when served
+//! for the mirrored orientation).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use sembfs_graph500::VertexId;
+
+use crate::{Query, QueryResult};
+
+/// Pair-query kinds that share the canonical `(lo, hi)` key space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PairKind {
+    Path,
+    Distance,
+    Reachable,
+}
+
+/// Canonical cache key of a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CacheKey {
+    Pair {
+        kind: PairKind,
+        lo: VertexId,
+        hi: VertexId,
+    },
+    Neighborhood {
+        v: VertexId,
+        depth: u32,
+    },
+}
+
+impl CacheKey {
+    /// The canonical key, plus whether the query's orientation was
+    /// swapped to reach it.
+    fn of(query: &Query) -> (CacheKey, bool) {
+        match *query {
+            Query::ShortestPath { src, dst } => pair(PairKind::Path, src, dst),
+            Query::Distance { src, dst } => pair(PairKind::Distance, src, dst),
+            Query::Reachable { src, dst } => pair(PairKind::Reachable, src, dst),
+            Query::Neighborhood { v, depth } => (CacheKey::Neighborhood { v, depth }, false),
+        }
+    }
+}
+
+fn pair(kind: PairKind, src: VertexId, dst: VertexId) -> (CacheKey, bool) {
+    (
+        CacheKey::Pair {
+            kind,
+            lo: src.min(dst),
+            hi: src.max(dst),
+        },
+        src > dst,
+    )
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// Result stored in canonical orientation (`lo → hi` for pairs).
+    result: QueryResult,
+    /// Last-touch stamp for LRU eviction.
+    stamp: u64,
+}
+
+/// A bounded LRU map from canonical query keys to results.
+///
+/// Eviction scans for the minimum stamp — `O(capacity)`, which is fine
+/// for the few-thousand-entry caches the engine configures; the win is
+/// skipping multi-millisecond graph searches, not shaving nanoseconds off
+/// the bookkeeping.
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    clock: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner::default()),
+            capacity,
+        }
+    }
+
+    /// Look up `query`, reorienting a mirrored path on the way out.
+    pub fn get(&self, query: &Query) -> Option<QueryResult> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let (key, swapped) = CacheKey::of(query);
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        let entry = inner.map.get_mut(&key)?;
+        entry.stamp = stamp;
+        let mut result = entry.result.clone();
+        if swapped {
+            if let QueryResult::Path { vertices, .. } = &mut result {
+                vertices.reverse();
+            }
+        }
+        Some(result)
+    }
+
+    /// Insert the result of `query`, canonicalizing its orientation.
+    pub fn put(&self, query: &Query, result: &QueryResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        let (key, swapped) = CacheKey::of(query);
+        let mut stored = result.clone();
+        if swapped {
+            if let QueryResult::Path { vertices, .. } = &mut stored {
+                vertices.reverse();
+            }
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+            {
+                inner.map.remove(&victim);
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                result: stored,
+                stamp,
+            },
+        );
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalizes_endpoint_order() {
+        let cache = ResultCache::new(8);
+        let fwd = Query::ShortestPath { src: 2, dst: 7 };
+        let rev = Query::ShortestPath { src: 7, dst: 2 };
+        let result = QueryResult::Path {
+            distance: 2,
+            vertices: vec![2, 5, 7],
+        };
+        cache.put(&fwd, &result);
+        assert_eq!(cache.get(&fwd), Some(result));
+        // The mirrored orientation is served reversed.
+        assert_eq!(
+            cache.get(&rev),
+            Some(QueryResult::Path {
+                distance: 2,
+                vertices: vec![7, 5, 2],
+            })
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn kinds_do_not_collide() {
+        let cache = ResultCache::new(8);
+        cache.put(
+            &Query::Distance { src: 1, dst: 2 },
+            &QueryResult::Distance(Some(3)),
+        );
+        assert!(cache.get(&Query::ShortestPath { src: 1, dst: 2 }).is_none());
+        assert!(cache.get(&Query::Reachable { src: 1, dst: 2 }).is_none());
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = ResultCache::new(2);
+        let q = |v| Query::Reachable { src: 0, dst: v };
+        cache.put(&q(1), &QueryResult::Reachable(true));
+        cache.put(&q(2), &QueryResult::Reachable(true));
+        cache.get(&q(1)); // touch 1 → 2 becomes LRU
+        cache.put(&q(3), &QueryResult::Reachable(false));
+        assert!(cache.get(&q(1)).is_some());
+        assert!(cache.get(&q(2)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&q(3)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = ResultCache::new(0);
+        cache.put(
+            &Query::Reachable { src: 0, dst: 1 },
+            &QueryResult::Reachable(true),
+        );
+        assert!(cache.get(&Query::Reachable { src: 0, dst: 1 }).is_none());
+        assert!(cache.is_empty());
+    }
+}

@@ -365,8 +365,11 @@ impl Device {
         completion
     }
 
-    /// Hybrid wait: sleep for the bulk of long waits, spin the final
-    /// stretch for accuracy (OS sleep granularity is ~50–100 µs).
+    /// Hybrid wait: sleep for the bulk of long waits, yield the final
+    /// stretch for accuracy (OS sleep granularity is ~50–100 µs). Yielding
+    /// rather than spinning matters when concurrent readers share cores:
+    /// a waiting thread must not burn the CPU another reader could use to
+    /// overlap its own device wait.
     fn wait_until(&self, deadline_ns: u64) {
         const SPIN_WINDOW_NS: u64 = 100_000;
         loop {
@@ -378,7 +381,7 @@ impl Device {
             if remaining > 2 * SPIN_WINDOW_NS {
                 std::thread::sleep(Duration::from_nanos(remaining - SPIN_WINDOW_NS));
             } else {
-                std::hint::spin_loop();
+                std::thread::yield_now();
             }
         }
     }

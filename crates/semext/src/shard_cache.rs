@@ -661,6 +661,55 @@ mod tests {
     }
 
     #[test]
+    fn aggregate_snapshot_is_monotone_and_sums_shards() {
+        // The aggregate CacheSnapshot is the query engine's global
+        // hit-rate source: every counter must be non-decreasing over an
+        // arbitrary access mix, and always equal the per-shard sum.
+        let device = dev();
+        let cache = ShardedPageCache::with_shards(4 * PAGE_BYTES, 4); // undersized: evicts
+        let data = patterned(32);
+        let store = ShardedCachedStore::new(DramBackend::new(data.clone()), device, cache.clone());
+        let mut prev = cache.snapshot();
+        let mut buf = vec![0u8; PAGE_BYTES as usize];
+        for i in 0..100u64 {
+            // Mix of repeats (hits), strides (misses + evictions), and a
+            // readahead-eligible sequential run.
+            let off = match i % 4 {
+                0 => 0,
+                1 => (i % 32) * PAGE_BYTES,
+                2 => ((i * 7) % 31) * PAGE_BYTES,
+                _ => (i % 8) * PAGE_BYTES + 128,
+            };
+            store.read_at(off, &mut buf[..256]).unwrap();
+            let now = cache.snapshot();
+            assert!(now.hits >= prev.hits, "hits regressed at step {i}");
+            assert!(now.misses >= prev.misses, "misses regressed at step {i}");
+            assert!(
+                now.evictions >= prev.evictions,
+                "evictions regressed at step {i}"
+            );
+            assert!(
+                now.readahead_pages >= prev.readahead_pages,
+                "readahead regressed at step {i}"
+            );
+            assert!(now.accesses() > prev.accesses(), "step {i} not counted");
+            prev = now;
+        }
+        let sum = cache
+            .per_shard()
+            .iter()
+            .fold(CacheSnapshot::default(), |a, s| CacheSnapshot {
+                hits: a.hits + s.hits,
+                misses: a.misses + s.misses,
+                evictions: a.evictions + s.evictions,
+                readahead_pages: a.readahead_pages + s.readahead_pages,
+            });
+        assert_eq!(prev, sum, "aggregate must equal per-shard sum");
+        assert!(prev.hits > 0 && prev.misses > 0 && prev.evictions > 0);
+        assert!(prev.hit_rate() > 0.0 && prev.hit_rate() < 1.0);
+    }
+
+    #[test]
     fn files_are_namespaced() {
         let cache = ShardedPageCache::with_shards(8 * PAGE_BYTES, 2);
         let a = cache.register_file();

@@ -1,0 +1,77 @@
+//! Point-to-point path queries against one shared semi-external graph.
+//!
+//! Builds a SCALE-14 Kronecker graph in each of the paper's three
+//! scenarios, stands up a [`QueryEngine`] over it, and serves a small
+//! mixed batch — shortest paths (validated against the serial reference
+//! BFS), reachability probes, and a neighborhood census — then prints the
+//! engine's aggregate report.
+//!
+//! Run with: `cargo run --release --example path_queries`
+
+use std::sync::Arc;
+
+use sembfs::prelude::*;
+
+fn main() {
+    let scale = 14;
+    let params = KroneckerParams::graph500(scale, 7);
+    let edges = params.generate();
+
+    for scenario in Scenario::ALL {
+        let opts = ScenarioOptions {
+            delay_mode: DelayMode::Throttled,
+            sort_neighbors: true,
+            // NVM scenarios: an 8 MiB page cache shared by all workers.
+            page_cache_bytes: scenario.device_profile().map(|_| 8u64 << 20),
+            ..Default::default()
+        };
+        let data = Arc::new(ScenarioData::build(&edges, scenario, opts).expect("build"));
+        let engine = QueryEngine::new(
+            data.clone(),
+            EngineConfig {
+                workers: 4,
+                ..Default::default()
+            },
+        );
+        println!("=== {} ===", scenario.label());
+
+        // Degree-picked endpoint pairs, like the Graph500 root selector.
+        let picks = select_roots(params.num_vertices(), 6, 7, |v| data.degree(v));
+        for pair in picks.chunks(2) {
+            let (src, dst) = (pair[0], pair[1]);
+            let resp = engine
+                .run(Query::ShortestPath { src, dst })
+                .expect("path query");
+            match resp.result {
+                QueryResult::Path { distance, vertices } => {
+                    // Validate against the serial reference BFS.
+                    let reference = sembfs::core::reference_bfs(data.csr(), src);
+                    let levels = sembfs::graph500::validate::compute_levels(&reference.parent, src)
+                        .expect("valid tree");
+                    assert_eq!(levels[dst as usize], distance, "distance mismatch");
+                    println!(
+                        "  path {src} → {dst}: {distance} hops {vertices:?} ({:?}, validated)",
+                        resp.latency
+                    );
+                }
+                QueryResult::NoPath => println!("  path {src} → {dst}: unreachable"),
+                other => unreachable!("{other:?}"),
+            }
+            let resp = engine
+                .run(Query::Reachable { src: dst, dst: src })
+                .expect("reachability query");
+            println!("  reachable {dst} → {src}: {:?}", resp.result);
+        }
+        let resp = engine
+            .run(Query::Neighborhood {
+                v: picks[0],
+                depth: 3,
+            })
+            .expect("neighborhood query");
+        if let QueryResult::Neighborhood { counts } = resp.result {
+            println!("  neighborhood of {}: ring sizes {counts:?}", picks[0]);
+        }
+
+        println!("{}\n", engine.stats().report());
+    }
+}

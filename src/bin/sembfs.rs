@@ -1,18 +1,22 @@
 //! `sembfs` — command-line front end for the library.
 //!
 //! ```text
-//! sembfs generate --scale 18 --out edges.bin            # Graph500 Step 1
-//! sembfs info     --scale 18                            # sizes per Table II
-//! sembfs bfs      --scale 18 --scenario flash --roots 8 # Steps 2–4
-//! sembfs sweep    --scale 16 --scenario flash           # mini Fig. 7
+//! sembfs generate  --scale 18 --out edges.bin            # Graph500 Step 1
+//! sembfs info      --scale 18                            # sizes per Table II
+//! sembfs bfs       --scale 18 --scenario flash --roots 8 # Steps 2–4
+//! sembfs sweep     --scale 16 --scenario flash           # mini Fig. 7
+//! sembfs query     --scale 14 --scenario flash --pairs 4 # point queries
+//! sembfs serve-sim --scale 14 --scenario flash --clients 8  # load test
 //! ```
 //!
 //! Flags may appear in any order; every command accepts `--seed`.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use sembfs::graph500::driver::run_rounds;
 use sembfs::graph500::edge_list::generate_edge_file;
+use sembfs::graph500::rng::Xoshiro256;
 use sembfs::prelude::*;
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -148,17 +152,160 @@ fn main() {
                 println!();
             }
         }
+        "query" => {
+            let scenario = scenario_of(&flags);
+            let pairs: usize = flag(&flags, "pairs", 4);
+            let workers: usize = flag(&flags, "workers", 2);
+            let data = Arc::new(build_query_data(&params, scenario, &flags));
+            let engine = QueryEngine::new(
+                data.clone(),
+                EngineConfig {
+                    workers,
+                    ..Default::default()
+                },
+            );
+            // Explicit --src/--dst, or degree-selected pairs.
+            let endpoints: Vec<(VertexId, VertexId)> = match (flags.get("src"), flags.get("dst")) {
+                (Some(s), Some(d)) => vec![(
+                    s.parse().expect("--src must be a vertex id"),
+                    d.parse().expect("--dst must be a vertex id"),
+                )],
+                _ => {
+                    let picks =
+                        select_roots(params.num_vertices(), 2 * pairs, seed, |v| data.degree(v));
+                    picks
+                        .chunks(2)
+                        .filter(|c| c.len() == 2)
+                        .map(|c| (c[0], c[1]))
+                        .collect()
+                }
+            };
+            println!(
+                "{} | {} workers | {} pairs",
+                scenario.label(),
+                workers,
+                endpoints.len()
+            );
+            for (src, dst) in endpoints {
+                let resp = engine
+                    .run(Query::ShortestPath { src, dst })
+                    .expect("query failed");
+                // Cross-check against the serial reference BFS.
+                let want = {
+                    let run = sembfs::core::reference_bfs(data.csr(), src);
+                    let levels =
+                        sembfs::graph500::validate::compute_levels(&run.parent, src).expect("tree");
+                    let l = levels[dst as usize];
+                    (l != sembfs::graph500::validate::INVALID_LEVEL).then_some(l)
+                };
+                match resp.result {
+                    QueryResult::Path { distance, vertices } => {
+                        assert_eq!(Some(distance), want, "validation failed for {src}→{dst}");
+                        println!(
+                            "  {src} → {dst}: {distance} hops via {vertices:?}  ({:?}, validated)",
+                            resp.latency
+                        );
+                    }
+                    QueryResult::NoPath => {
+                        assert_eq!(None, want, "validation failed for {src}→{dst}");
+                        println!(
+                            "  {src} → {dst}: unreachable  ({:?}, validated)",
+                            resp.latency
+                        );
+                    }
+                    other => panic!("unexpected result {other:?}"),
+                }
+            }
+            println!("{}", engine.stats().report());
+        }
+        "serve-sim" => {
+            let scenarios: Vec<Scenario> = match flags.get("scenario").map(String::as_str) {
+                Some("all") => Scenario::ALL.to_vec(),
+                _ => vec![scenario_of(&flags)],
+            };
+            let clients: usize = flag(&flags, "clients", 8);
+            let workers: usize = flag(&flags, "workers", 4);
+            let requests: usize = flag(&flags, "requests", 100);
+            let queue: usize = flag(&flags, "queue", 64);
+            let zipf: f64 = flag(&flags, "zipf", 1.0);
+            let result_cache: usize = flag(&flags, "result-cache", 1024);
+            for scenario in scenarios {
+                let data = Arc::new(build_query_data(&params, scenario, &flags));
+                let engine = Arc::new(QueryEngine::new(
+                    data.clone(),
+                    EngineConfig {
+                        workers,
+                        queue_capacity: queue,
+                        result_cache_entries: result_cache,
+                    },
+                ));
+                let sampler = Arc::new(ZipfSampler::from_degrees(&data, zipf, 4096));
+                println!(
+                    "{} | {clients} clients × {requests} requests | {workers} workers, queue {queue}, zipf θ={zipf}",
+                    scenario.label()
+                );
+                std::thread::scope(|scope| {
+                    for c in 0..clients {
+                        let engine = engine.clone();
+                        let sampler = sampler.clone();
+                        scope.spawn(move || {
+                            let mix = QueryMix::point_queries();
+                            let mut rng = Xoshiro256::seed_from(seed, c as u64 + 1);
+                            for _ in 0..requests {
+                                let query = mix.sample(&sampler, &mut rng);
+                                // Closed loop with retry-on-overload.
+                                loop {
+                                    match engine.run(query) {
+                                        Ok(_) => break,
+                                        Err(QueryError::Overloaded { .. }) => {
+                                            std::thread::sleep(std::time::Duration::from_micros(
+                                                200,
+                                            ));
+                                        }
+                                        Err(e) => panic!("query failed: {e}"),
+                                    }
+                                }
+                            }
+                        });
+                    }
+                });
+                println!("{}\n", engine.stats().report());
+            }
+        }
         _ => usage(),
     }
+}
+
+/// Build a scenario layout for the query commands: throttled device (so
+/// latency percentiles mean something), page cache on NVM scenarios.
+fn build_query_data(
+    params: &KroneckerParams,
+    scenario: Scenario,
+    flags: &HashMap<String, String>,
+) -> ScenarioData {
+    let cache_mb: u64 = flag(flags, "cache-mb", 16);
+    let edges = params.generate();
+    let opts = ScenarioOptions {
+        delay_mode: sembfs::semext::DelayMode::Throttled,
+        sort_neighbors: true,
+        page_cache_bytes: scenario.device_profile().map(|_| cache_mb << 20),
+        ..Default::default()
+    };
+    ScenarioData::build(&edges, scenario, opts).expect("build scenario")
 }
 
 fn usage() {
     eprintln!(
         "usage: sembfs <command> [flags]\n\
          commands:\n\
-         \x20 generate --scale N [--seed S] [--out FILE]   write a Kronecker edge file\n\
-         \x20 info     --scale N [--seed S]                print Table II-style sizes\n\
-         \x20 bfs      --scale N [--scenario dram|flash|ssd] [--roots R]  run the benchmark\n\
-         \x20 sweep    --scale N [--scenario dram|flash|ssd] [--roots R]  α/β sweep"
+         \x20 generate  --scale N [--seed S] [--out FILE]   write a Kronecker edge file\n\
+         \x20 info      --scale N [--seed S]                print Table II-style sizes\n\
+         \x20 bfs       --scale N [--scenario dram|flash|ssd] [--roots R]  run the benchmark\n\
+         \x20 sweep     --scale N [--scenario dram|flash|ssd] [--roots R]  α/β sweep\n\
+         \x20 query     --scale N [--scenario dram|flash|ssd] [--src A --dst B | --pairs P]\n\
+         \x20           [--workers W] [--cache-mb M]        validated shortest-path queries\n\
+         \x20 serve-sim --scale N [--scenario dram|flash|ssd|all] [--clients C] [--workers W]\n\
+         \x20           [--requests R] [--queue Q] [--zipf THETA] [--result-cache E]\n\
+         \x20           [--cache-mb M]                      closed-loop query load test"
     );
 }

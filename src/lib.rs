@@ -17,6 +17,8 @@
 //! * [`numa`] — the NUMA topology model and range partitioner.
 //! * [`core`] — the hybrid BFS itself: step kernels, α/β switching,
 //!   scenarios, baselines.
+//! * [`query`] — the concurrent point-query engine: bidirectional
+//!   shortest paths, worker pool, result cache, latency metrics.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +55,7 @@ pub use sembfs_csr as csr;
 pub use sembfs_dist as dist;
 pub use sembfs_graph500 as graph500;
 pub use sembfs_numa as numa;
+pub use sembfs_query as query;
 pub use sembfs_semext as semext;
 
 /// The most commonly used items, importable in one line.
@@ -67,5 +70,9 @@ pub mod prelude {
         VertexId, INVALID_PARENT,
     };
     pub use sembfs_numa::{RangePartition, Topology};
+    pub use sembfs_query::{
+        EngineConfig, Query, QueryEngine, QueryError, QueryMix, QueryResult, QueryStats,
+        ZipfSampler,
+    };
     pub use sembfs_semext::{DelayMode, Device, DeviceProfile, IoSnapshot, TempDir};
 }

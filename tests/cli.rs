@@ -74,6 +74,67 @@ fn sweep_prints_the_grid() {
 }
 
 #[test]
+fn query_validates_and_reports() {
+    let out = sembfs()
+        .args([
+            "query",
+            "--scale",
+            "10",
+            "--scenario",
+            "flash",
+            "--pairs",
+            "2",
+            "--workers",
+            "2",
+            "--cache-mb",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    // Every pair is cross-checked against the reference BFS in-process.
+    assert!(text.contains("validated"), "{text}");
+    assert!(text.contains("completed"), "{text}");
+    assert!(text.contains("p99"), "{text}");
+}
+
+#[test]
+fn serve_sim_runs_the_closed_loop() {
+    let out = sembfs()
+        .args([
+            "serve-sim",
+            "--scale",
+            "10",
+            "--scenario",
+            "ssd",
+            "--clients",
+            "3",
+            "--workers",
+            "2",
+            "--requests",
+            "10",
+            "--cache-mb",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("DRAM+SSD"), "{text}");
+    // 3 clients × 10 requests all complete.
+    assert!(text.contains("completed 30 ("), "{text}");
+}
+
+#[test]
 fn unknown_command_prints_usage() {
     let out = sembfs().arg("frobnicate").output().unwrap();
     let err = String::from_utf8(out.stderr).unwrap();
