@@ -1,0 +1,82 @@
+//! Cost of the observability layer on the BFS hot path.
+//!
+//! Three configurations of the same hybrid BFS (flash scenario, accounting
+//! device so the number measures code speed, not simulated I/O delay):
+//!
+//! * `tracer_off` — the global tracer disabled, as every non-traced run
+//!   sees it: each instrumentation site is one relaxed `AtomicBool` load.
+//! * `tracer_off_warm` — disabled again after a traced run, with the
+//!   thread-local ring buffers already allocated (same branch, proves the
+//!   buffers themselves are free when idle).
+//! * `tracer_on` — recording, drained between iterations; the price of
+//!   actually collecting spans.
+//!
+//! The acceptance bar is `tracer_off` within 2% of what the uninstrumented
+//! tree measured; compare the Melem/s columns.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sembfs_core::{BfsConfig, Scenario, ScenarioData, ScenarioOptions};
+use sembfs_graph500::{select_roots, KroneckerParams};
+use sembfs_numa::Topology;
+use sembfs_semext::DelayMode;
+
+fn scale() -> u32 {
+    std::env::var("SEMBFS_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(14)
+}
+
+fn setup() -> (ScenarioData, u32, u64) {
+    let scale = scale();
+    let params = KroneckerParams::graph500(scale, 5);
+    let edges = params.generate();
+    let opts = ScenarioOptions {
+        topology: Topology::new(4, 1),
+        delay_mode: DelayMode::Accounting,
+        ..Default::default()
+    };
+    let data = ScenarioData::build(&edges, Scenario::DramPcieFlash, opts).unwrap();
+    let root = select_roots(data.csr().num_vertices(), 1, 2, |v| data.degree(v))[0];
+    (data, root, params.num_edges())
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let (data, root, m) = setup();
+    let policy = Scenario::DramPcieFlash.best_policy();
+    let cfg = BfsConfig::paper();
+    let tracer = sembfs_obs::global();
+
+    let mut g = c.benchmark_group("obs_overhead");
+    g.throughput(Throughput::Elements(m));
+    g.sample_size(20);
+
+    tracer.set_enabled(false);
+    g.bench_function("tracer_off", |b| {
+        b.iter(|| data.run(root, &policy, &cfg).unwrap())
+    });
+
+    g.bench_function("tracer_on", |b| {
+        data.align_trace_epoch();
+        tracer.set_enabled(true);
+        b.iter(|| {
+            let run = data.run(root, &policy, &cfg).unwrap();
+            // Drain inside the loop so the rings never saturate; draining is
+            // part of what an always-on collector would pay.
+            criterion::black_box(tracer.drain());
+            run
+        });
+        tracer.set_enabled(false);
+        tracer.drain();
+    });
+
+    // Rings are allocated now; the disabled path must still be one branch.
+    g.bench_function("tracer_off_warm", |b| {
+        b.iter(|| data.run(root, &policy, &cfg).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

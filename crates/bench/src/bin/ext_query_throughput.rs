@@ -25,6 +25,7 @@ use std::time::Duration;
 use sembfs_bench::{layout_bytes, mib, BenchEnv, Table};
 use sembfs_core::{Scenario, ScenarioData, ScenarioOptions};
 use sembfs_graph500::rng::Xoshiro256;
+use sembfs_obs::MetricsRegistry;
 use sembfs_query::{EngineConfig, QueryEngine, QueryMix, QueryStats, ZipfSampler};
 
 /// Queries answered per (scenario, budget, workers) configuration.
@@ -68,6 +69,9 @@ fn main() {
 
     eprintln!("generating SCALE {} edge list...", env.scale);
     let edges = env.generate();
+    // Prometheus exposition of the last measured configuration, appended
+    // after the table so scrapes and the human-readable rows agree.
+    let mut prom_snapshot: Option<(String, String)> = None;
     let mut table = Table::new(&[
         "scenario",
         "cache MiB",
@@ -104,10 +108,27 @@ fn main() {
 
             // One warm-up round so every worker count starts from the
             // same warm shared cache (the steady state under this budget).
-            serve(&data, &sampler, 2, sweep.requests / 2, env.seed);
+            serve(&data, &sampler, 2, sweep.requests / 2, env.seed, None);
 
             for &workers in &sweep.workers {
-                let stats = serve(&data, &sampler, workers, sweep.requests, env.seed);
+                let registry = MetricsRegistry::new();
+                let stats = serve(
+                    &data,
+                    &sampler,
+                    workers,
+                    sweep.requests,
+                    env.seed,
+                    Some(&registry),
+                );
+                prom_snapshot = Some((
+                    format!(
+                        "{} / {} MiB / {} workers",
+                        scenario.label(),
+                        mib(budget),
+                        workers
+                    ),
+                    registry.prometheus_text(),
+                ));
                 let hit_rate = stats
                     .cache_hit_rate()
                     .map_or_else(|| "-".to_string(), |r| format!("{r:.4}"));
@@ -139,6 +160,11 @@ fn main() {
         "note: per-query searches are serial, so QPS above 1 worker comes from \
          overlapping device waits; budgets below 1.0x force that device traffic."
     );
+    if let Some((config, text)) = prom_snapshot {
+        println!();
+        println!("--- prometheus snapshot ({config}) ---");
+        print!("{text}");
+    }
 }
 
 /// Serve `requests` queries from twice as many closed-loop clients as
@@ -149,6 +175,7 @@ fn serve(
     workers: usize,
     requests: usize,
     seed: u64,
+    registry: Option<&MetricsRegistry>,
 ) -> QueryStats {
     let clients = 2 * workers;
     let engine = Arc::new(QueryEngine::new(
@@ -160,6 +187,15 @@ fn serve(
             result_cache_entries: 0,
         },
     ));
+    if let Some(registry) = registry {
+        if let Some(dev) = data.device() {
+            dev.register_metrics(registry);
+        }
+        if let Some(cache) = data.page_cache() {
+            cache.register_metrics(registry);
+        }
+        engine.register_metrics(registry);
+    }
     std::thread::scope(|scope| {
         for c in 0..clients {
             let engine = engine.clone();

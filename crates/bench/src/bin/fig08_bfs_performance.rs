@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use sembfs_bench::{measure, mteps, spare_dram_for, BenchEnv, Table};
+use sembfs_bench::{measure, mteps, spare_dram_for, trace_begin, trace_finish, BenchEnv, Table};
 use sembfs_core::{reference_bfs, AlphaBetaPolicy, Direction, FixedPolicy, Scenario};
 
 fn main() {
@@ -39,6 +39,7 @@ fn main() {
     let _ = spare_dram_for(&env, env.scale);
     for sc in Scenario::ALL {
         let data = env.build(&edges, sc, env.measured_options());
+        trace_begin(&data);
         let roots = env.roots(&data);
         let mut best_for_scenario = (0.0f64, 0.0, 0.0);
         for &(alpha, bm) in &sweep {
@@ -108,4 +109,5 @@ fn main() {
     }
     table.print();
     println!("\npaper shape check: DRAM-only > +PCIeFlash > +SSD ≫ TD-only > BU-only ≫ reference");
+    trace_finish();
 }

@@ -13,6 +13,7 @@
 //! | `SEMBFS_SEED` | generator seed | 1 |
 //! | `SEMBFS_DEVICE_SCALE` | slow-down factor on the device models | 1.0 |
 //! | `SEMBFS_DOMAINS` | NUMA domains ℓ (paper: 4) | 4 |
+//! | `SEMBFS_TRACE_OUT` | write a JSONL trace of the measurement here | off |
 
 use std::sync::Arc;
 
@@ -155,6 +156,48 @@ pub fn reset_device(data: &ScenarioData) {
 /// The scenario device, when present.
 pub fn device_of(data: &ScenarioData) -> Option<&Arc<Device>> {
     data.device()
+}
+
+/// The one-flag trace opt-in shared by the exhibit binaries: when
+/// `SEMBFS_TRACE_OUT` is set, align the tracer's epoch with the scenario
+/// device (so BFS spans and device spans share a timeline) and start
+/// recording. Returns whether tracing was turned on.
+pub fn trace_begin(data: &ScenarioData) -> bool {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static EPOCH_ALIGNED: AtomicBool = AtomicBool::new(false);
+    if std::env::var_os("SEMBFS_TRACE_OUT").is_none() {
+        return false;
+    }
+    // Align only once: device spans translate onto whatever epoch the
+    // tracer holds, but moving the epoch mid-trace would shear the
+    // timeline of the samples already recorded.
+    if !EPOCH_ALIGNED.swap(true, Ordering::Relaxed) {
+        data.align_trace_epoch();
+    }
+    sembfs_obs::global().set_enabled(true);
+    true
+}
+
+/// Counterpart of [`trace_begin`]: drain the recorded samples to the
+/// `SEMBFS_TRACE_OUT` JSONL file and stop recording. No-op when the
+/// variable is unset.
+pub fn trace_finish() {
+    let Some(path) = std::env::var_os("SEMBFS_TRACE_OUT") else {
+        return;
+    };
+    let tracer = sembfs_obs::global();
+    tracer.set_enabled(false);
+    let samples = tracer.drain();
+    let path = std::path::PathBuf::from(path);
+    match sembfs_obs::write_jsonl(&path, &samples) {
+        Ok(()) => eprintln!(
+            "trace: {} samples -> {} ({} dropped)",
+            samples.len(),
+            path.display(),
+            tracer.dropped()
+        ),
+        Err(e) => eprintln!("trace: writing {} failed: {e}", path.display()),
+    }
 }
 
 /// A simple aligned-column table printer for the exhibit rows.

@@ -159,6 +159,8 @@ pub fn bottom_up_step<B: BottomUpSource>(
     let outs: Vec<BottomUpOutput> = (0..domains)
         .into_par_iter()
         .map(|k| -> Result<BottomUpOutput> {
+            let tracer = sembfs_obs::global();
+            let step_start = tracer.is_enabled().then(|| tracer.now_ns());
             let range = part.range(k);
             // Chunk the local range so large domains parallelize inside.
             let chunks: Vec<std::ops::Range<u64>> = {
@@ -197,7 +199,7 @@ pub fn bottom_up_step<B: BottomUpSource>(
                     Ok(out)
                 })
                 .collect::<Result<Vec<_>>>()?;
-            Ok(pieces.into_iter().fold(
+            let domain_out = pieces.into_iter().fold(
                 BottomUpOutput {
                     discovered: 0,
                     dram_edges: 0,
@@ -208,7 +210,18 @@ pub fn bottom_up_step<B: BottomUpSource>(
                     dram_edges: a.dram_edges + b.dram_edges,
                     nvm_edges: a.nvm_edges + b.nvm_edges,
                 },
-            ))
+            );
+            if let Some(start_ns) = step_start {
+                tracer.span(
+                    start_ns,
+                    tracer.now_ns(),
+                    sembfs_obs::TraceEvent::Step {
+                        dir: sembfs_obs::Dir::BottomUp,
+                        scanned_edges: domain_out.dram_edges + domain_out.nvm_edges,
+                    },
+                );
+            }
+            Ok(domain_out)
         })
         .collect::<Result<Vec<_>>>()?;
 

@@ -108,6 +108,13 @@ impl BfsConfig {
     }
 }
 
+fn obs_dir(d: Direction) -> sembfs_obs::Dir {
+    match d {
+        Direction::TopDown => sembfs_obs::Dir::TopDown,
+        Direction::BottomUp => sembfs_obs::Dir::BottomUp,
+    }
+}
+
 /// The result of one hybrid BFS.
 #[derive(Debug, Clone)]
 pub struct BfsRun {
@@ -365,6 +372,9 @@ where
     let visited = AtomicBitmap::new(n);
     visited.set(root);
 
+    let tracer = sembfs_obs::global();
+    let run_start_ns = tracer.is_enabled().then(|| tracer.now_ns());
+
     // Frontier state: queue form for top-down, bitmap form for bottom-up.
     let mut queue: Vec<VertexId> = vec![root];
     let mut front_bm = AtomicBitmap::new(n);
@@ -410,6 +420,25 @@ where
             unvisited: n - visited_count,
         });
 
+        // Record the decision with its full inputs: level, both frontier
+        // sizes, n_all, unvisited, and the policy's α/β when it has that
+        // form — enough to re-feed the policy offline and replay the
+        // direction sequence from the trace alone.
+        if tracer.is_enabled() {
+            let (alpha, beta) = policy.thresholds().unwrap_or((0.0, 0.0));
+            tracer.instant(sembfs_obs::TraceEvent::Switch {
+                level,
+                from: obs_dir(direction),
+                to: obs_dir(decided),
+                frontier: frontier_size,
+                prev_frontier,
+                n_all: n,
+                unvisited: n - visited_count,
+                alpha,
+                beta,
+            });
+        }
+
         // Convert the frontier representation if the direction demands it.
         match decided {
             Direction::TopDown if bitmap_current => {
@@ -425,6 +454,7 @@ where
         }
         direction = decided;
 
+        let level_start_ns = tracer.is_enabled().then(|| tracer.now_ns());
         let io_before = cfg.io_monitor.as_ref().map(|d| d.snapshot());
         let cache_before = cfg.cache_monitor.as_ref().map(|c| c.snapshot());
         let t0 = Instant::now();
@@ -468,6 +498,27 @@ where
             _ => None,
         };
 
+        if let Some(start_ns) = level_start_ns {
+            tracer.span(
+                start_ns,
+                tracer.now_ns(),
+                sembfs_obs::TraceEvent::Level {
+                    level,
+                    dir: obs_dir(direction),
+                    frontier: frontier_size,
+                    discovered,
+                    scanned_edges: scanned,
+                    nvm_edges,
+                    io_requests: io.as_ref().map_or(0, |i| i.requests),
+                    io_bytes: io.as_ref().map_or(0, |i| i.bytes),
+                    io_response_ns: io.as_ref().map_or(0, |i| i.response_ns),
+                    io_wall_ns: io.as_ref().map_or(0, |i| i.wall_ns()),
+                    cache_hits: cache.as_ref().map_or(0, |c| c.hits),
+                    cache_misses: cache.as_ref().map_or(0, |c| c.misses),
+                },
+            );
+        }
+
         visited_count += discovered;
         levels.push(LevelStats {
             level,
@@ -486,6 +537,10 @@ where
         level += 1;
     }
 
+    // The run span closes here — the TEPS degree sweep below is
+    // accounting, not traversal, and must not inflate the traced run.
+    let run_end_ns = run_start_ns.map(|_| tracer.now_ns());
+
     // TEPS edge accounting: half the summed degree of visited vertices.
     use rayon::prelude::*;
     let degree_sum: u64 = (0..n.div_ceil(4096))
@@ -500,6 +555,19 @@ where
             Ok(sum)
         })
         .try_reduce(|| 0, |a, b| Ok(a + b))?;
+
+    if let (Some(start_ns), Some(end_ns)) = (run_start_ns, run_end_ns) {
+        tracer.span(
+            start_ns,
+            end_ns,
+            sembfs_obs::TraceEvent::Run {
+                root: root as u64,
+                visited: visited_count,
+                teps_edges: degree_sum / 2,
+                levels: levels.len() as u64,
+            },
+        );
+    }
 
     Ok(BfsRun {
         parent: snapshot_parents(&parent),

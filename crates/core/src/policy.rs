@@ -43,6 +43,13 @@ pub trait DirectionPolicy: Send + Sync {
 
     /// A short label for reports.
     fn label(&self) -> String;
+
+    /// The policy's `(α, β)` thresholds, when it has that form. Recorded
+    /// with every traced switch decision so a decision sequence can be
+    /// replayed offline from the trace alone.
+    fn thresholds(&self) -> Option<(f64, f64)> {
+        None
+    }
 }
 
 /// The paper's α/β frontier-size rule.
@@ -120,6 +127,10 @@ impl DirectionPolicy for AlphaBetaPolicy {
     fn label(&self) -> String {
         format!("hybrid(α={:.0e}, β={:.0e})", self.alpha, self.beta)
     }
+
+    fn thresholds(&self) -> Option<(f64, f64)> {
+        Some((self.alpha, self.beta))
+    }
 }
 
 /// Always run one direction — the paper's *top-down only* and *bottom-up
@@ -190,6 +201,10 @@ impl DirectionPolicy for BeamerPolicy {
 
     fn label(&self) -> String {
         format!("beamer(α={}, β={})", self.alpha, self.beta)
+    }
+
+    fn thresholds(&self) -> Option<(f64, f64)> {
+        Some((self.alpha, self.beta))
     }
 }
 

@@ -424,6 +424,16 @@ impl ScenarioData {
         self.page_cache.as_ref()
     }
 
+    /// Align the global tracer's timebase on this scenario's device epoch
+    /// so trace timestamps and device-clock nanoseconds (`IoStats`
+    /// arrival/completion) are the *same* number. DRAM-only scenarios have
+    /// no device; the tracer keeps its own epoch.
+    pub fn align_trace_epoch(&self) {
+        if let Some(dev) = &self.device {
+            sembfs_obs::global().set_epoch(dev.epoch());
+        }
+    }
+
     /// The forward graph store.
     pub fn forward(&self) -> &ForwardStore {
         &self.forward

@@ -47,6 +47,8 @@ pub fn top_down_step<G: DomainNeighbors>(
     let per_domain: Vec<(Vec<VertexId>, u64)> = (0..domains)
         .into_par_iter()
         .map(|k| -> Result<(Vec<VertexId>, u64)> {
+            let tracer = sembfs_obs::global();
+            let step_start = tracer.is_enabled().then(|| tracer.now_ns());
             let pieces: Vec<(Vec<VertexId>, u64)> = frontier
                 .par_chunks(batch)
                 .map_init(make_ctx, |ctx, chunk| -> Result<(Vec<VertexId>, u64)> {
@@ -71,6 +73,16 @@ pub fn top_down_step<G: DomainNeighbors>(
             for (n, s) in pieces {
                 next.extend(n);
                 scanned += s;
+            }
+            if let Some(start_ns) = step_start {
+                tracer.span(
+                    start_ns,
+                    tracer.now_ns(),
+                    sembfs_obs::TraceEvent::Step {
+                        dir: sembfs_obs::Dir::TopDown,
+                        scanned_edges: scanned,
+                    },
+                );
             }
             Ok((next, scanned))
         })

@@ -76,6 +76,35 @@ impl DomainCounters {
     pub fn domains(&self) -> usize {
         self.local.len()
     }
+
+    /// Register these counters as a pull-style metrics source: per-domain
+    /// local/remote access counters plus the aggregate locality gauge.
+    pub fn register_metrics(self: &std::sync::Arc<Self>, registry: &sembfs_obs::MetricsRegistry) {
+        use sembfs_obs::Metric;
+        let counters = std::sync::Arc::clone(self);
+        registry.register_source(Box::new(move || {
+            let mut out = Vec::new();
+            for k in 0..counters.domains() {
+                let domain = k.to_string();
+                out.push(Metric::counter(
+                    "sembfs_numa_local_accesses_total",
+                    &[("domain", &domain)],
+                    counters.local(k) as f64,
+                ));
+                out.push(Metric::counter(
+                    "sembfs_numa_remote_accesses_total",
+                    &[("domain", &domain)],
+                    counters.remote(k) as f64,
+                ));
+            }
+            out.push(Metric::gauge(
+                "sembfs_numa_locality",
+                &[],
+                counters.locality(),
+            ));
+            out
+        }));
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +141,25 @@ mod tests {
         c.record(2, 1, 10);
         c.reset();
         assert_eq!(c.total_local() + c.total_remote(), 0);
+    }
+
+    #[test]
+    fn registered_metrics_follow_the_counters() {
+        let c = std::sync::Arc::new(DomainCounters::new(2));
+        let registry = sembfs_obs::MetricsRegistry::new();
+        c.register_metrics(&registry);
+        c.record(0, 0, 3);
+        c.record(0, 1, 1);
+        let text = registry.prometheus_text();
+        assert!(
+            text.contains("sembfs_numa_local_accesses_total{domain=\"0\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sembfs_numa_remote_accesses_total{domain=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("sembfs_numa_locality 0.75"), "{text}");
     }
 
     #[test]

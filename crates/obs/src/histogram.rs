@@ -1,0 +1,280 @@
+//! A lock-free log-bucket latency histogram.
+//!
+//! One shared implementation (formerly private to `sembfs-query`) now
+//! serves both the query engine's latency percentiles and the metrics
+//! registry's Prometheus histogram exposition.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two microsecond buckets: bucket `i` holds latencies
+/// in `[2^(i-1), 2^i)` µs (bucket 0 is `< 1 µs`), topping out above an
+/// hour — more than any query this engine can produce.
+pub const BUCKETS: usize = 42;
+
+/// Upper edge of bucket `i`, in microseconds (`2^i`; bucket 0 = 1 µs).
+pub fn bucket_upper_micros(i: usize) -> u64 {
+    1u64 << i.min(63)
+}
+
+/// A fixed log-bucket latency histogram, recordable from any worker
+/// without locks.
+///
+/// Buckets are powers of two in microseconds, so percentile estimates
+/// carry at most 2× resolution error — the right fidelity for a
+/// throughput report, at the cost of two atomic adds per sample.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    /// Exact sum in nanoseconds, for the mean.
+    total_nanos: AtomicU64,
+    count: AtomicU64,
+    /// Maximum observed, in nanoseconds.
+    max_nanos: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            total_nanos: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(latency: Duration) -> usize {
+        let micros = latency.as_micros() as u64;
+        ((64 - micros.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Record one sample.
+    pub fn record(&self, latency: Duration) {
+        self.buckets[Self::bucket_of(latency)].fetch_add(1, Ordering::Relaxed);
+        self.total_nanos
+            .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max_nanos
+            .fetch_max(latency.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency (zero when empty).
+    pub fn mean(&self) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.total_nanos.load(Ordering::Relaxed) / count)
+    }
+
+    /// Maximum observed latency.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Latency at quantile `q` (e.g. `0.99`), reported as the upper edge
+    /// of the bucket containing that rank; zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Duration::from_micros(bucket_upper_micros(i));
+            }
+        }
+        self.max()
+    }
+
+    /// Latency at quantile `q` with linear interpolation inside the
+    /// containing bucket: the rank's fractional position among the
+    /// bucket's samples maps linearly onto `[lower_edge, upper_edge)`.
+    /// Smoother than [`quantile`](Self::quantile) (which always reports
+    /// the upper edge) while staying within the same 2× bucket bound.
+    pub fn quantile_interpolated(&self, q: f64) -> Duration {
+        self.snapshot().quantile_interpolated(q)
+    }
+
+    /// A point-in-time copy of the per-bucket counts and aggregates.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            total_nanos: self.total_nanos.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+            max_nanos: self.max_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`], used by the metrics
+/// registry's Prometheus exposition and by interpolated quantiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (non-cumulative).
+    pub buckets: [u64; BUCKETS],
+    /// Exact sum of all samples, nanoseconds.
+    pub total_nanos: u64,
+    /// Total samples.
+    pub count: u64,
+    /// Maximum observed sample, nanoseconds.
+    pub max_nanos: u64,
+}
+
+impl HistogramSnapshot {
+    /// Interpolated quantile — see
+    /// [`LatencyHistogram::quantile_interpolated`].
+    pub fn quantile_interpolated(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        // Continuous rank in [1, count].
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if (seen + n) as f64 >= rank {
+                let lower = if i == 0 {
+                    0.0
+                } else {
+                    bucket_upper_micros(i - 1) as f64
+                };
+                let upper = bucket_upper_micros(i) as f64;
+                let frac = ((rank - seen as f64) / n as f64).clamp(0.0, 1.0);
+                let micros = lower + frac * (upper - lower);
+                return Duration::from_secs_f64(micros / 1e6);
+            }
+            seen += n;
+        }
+        Duration::from_nanos(self.max_nanos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_records_and_ranks() {
+        let h = LatencyHistogram::new();
+        for micros in [1u64, 2, 4, 100, 100, 100, 100, 10_000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 8);
+        // p50 falls in the 100 µs cluster → bucket upper edge 128 µs.
+        assert_eq!(h.quantile(0.5), Duration::from_micros(128));
+        // p99 picks the tail sample's bucket (upper edge ≥ 10 ms sample).
+        assert!(h.quantile(0.99) >= Duration::from_micros(10_000));
+        assert_eq!(h.max(), Duration::from_micros(10_000));
+        assert!(h.mean() > Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.quantile_interpolated(0.99), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn sub_microsecond_goes_to_bucket_zero() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(300));
+        assert_eq!(h.quantile(1.0), Duration::from_micros(1));
+        assert_eq!(h.snapshot().buckets[0], 1);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_half_open() {
+        // Bucket i holds [2^(i-1), 2^i) µs: an exact power of two lands
+        // in the *next* bucket (lower edge inclusive).
+        let cases = [
+            (0u64, 0usize), // < 1 µs
+            (1, 1),         // [1, 2)
+            (2, 2),         // [2, 4)
+            (3, 2),
+            (4, 3), // [4, 8)
+            (127, 7),
+            (128, 8),
+        ];
+        for (micros, want) in cases {
+            let h = LatencyHistogram::new();
+            h.record(Duration::from_micros(micros));
+            let snap = h.snapshot();
+            assert_eq!(
+                snap.buckets[want], 1,
+                "{micros} µs should land in bucket {want}"
+            );
+            // And the upper-edge quantile reports 2^want µs.
+            assert_eq!(
+                h.quantile(1.0),
+                Duration::from_micros(bucket_upper_micros(want))
+            );
+        }
+    }
+
+    #[test]
+    fn top_bucket_absorbs_the_sky() {
+        let h = LatencyHistogram::new();
+        // ~136 years — far past bucket 41's lower edge, so it clamps.
+        h.record(Duration::from_secs(u32::MAX as u64));
+        assert_eq!(h.snapshot().buckets[BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn interpolated_p50_p99_land_inside_their_buckets() {
+        let h = LatencyHistogram::new();
+        // 100 samples at 100 µs (bucket 7: [64, 128) µs) and one outlier.
+        for _ in 0..100 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_micros(10_000));
+        let p50 = h.quantile_interpolated(0.5);
+        assert!(
+            p50 >= Duration::from_micros(64) && p50 < Duration::from_micros(128),
+            "p50 {p50:?} must interpolate within [64, 128) µs"
+        );
+        // p99 rank 99.99 still inside the 100 µs cluster.
+        let p99 = h.quantile_interpolated(0.99);
+        assert!(
+            p99 >= Duration::from_micros(64) && p99 < Duration::from_micros(128),
+            "p99 {p99:?}"
+        );
+        // p100 reaches the outlier's bucket.
+        assert!(h.quantile_interpolated(1.0) > Duration::from_micros(8192));
+        // Interpolation is monotone in q.
+        assert!(h.quantile_interpolated(0.1) <= p50);
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn interpolated_fraction_splits_a_bucket() {
+        // 4 samples in bucket [64, 128): ranks 1..4 map to evenly spaced
+        // points; the median (rank 2) sits at 64 + (2/4)·64 = 96 µs.
+        let h = LatencyHistogram::new();
+        for _ in 0..4 {
+            h.record(Duration::from_micros(100));
+        }
+        let p50 = h.quantile_interpolated(0.5);
+        assert_eq!(p50, Duration::from_micros(96));
+    }
+}

@@ -1,0 +1,424 @@
+//! Minimal JSON writing and parsing.
+//!
+//! The build environment has no registry access (no `serde`), and the
+//! trace formats only need flat objects of numbers, strings and bools —
+//! so this module hand-rolls exactly that: an allocation-light object
+//! writer ([`JsonObj`]) and a small recursive-descent parser ([`Json`])
+//! that keeps integer precision (`u64` stays exact; floats are `f64`).
+
+use std::fmt::Write as _;
+
+/// Escape a string for embedding inside JSON quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An incremental writer for one flat JSON object.
+#[derive(Debug)]
+pub struct JsonObj {
+    buf: String,
+    first: bool,
+}
+
+impl Default for JsonObj {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonObj {
+    /// Start an object (`{`).
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        let _ = write!(self.buf, "\"{}\":", escape(name));
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(mut self, name: &str, v: u64) -> Self {
+        self.key(name);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Add a float field (non-finite values become `0`, which JSON can
+    /// represent).
+    pub fn f64(mut self, name: &str, v: f64) -> Self {
+        self.key(name);
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v}");
+        } else {
+            self.buf.push('0');
+        }
+        self
+    }
+
+    /// Add a string field (escaped).
+    pub fn str(mut self, name: &str, v: &str) -> Self {
+        self.key(name);
+        let _ = write!(self.buf, "\"{}\"", escape(v));
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, name: &str, v: bool) -> Self {
+        self.key(name);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Add pre-serialized JSON as a field value.
+    pub fn raw(mut self, name: &str, v: &str) -> Self {
+        self.key(name);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Close the object and return it.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer without fraction or exponent (exact).
+    Int(u64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse one JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64` (floats truncate; negatives fail).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            Json::Float(v) if *v >= 0.0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array elements.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", b as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so this is
+                // always well-formed).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut fractional = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                fractional = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    if text.is_empty() || text == "-" {
+        return Err(format!("invalid number at byte {start}"));
+    }
+    if !fractional && !text.starts_with('-') {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Json::Int(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Float)
+        .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_produces_valid_json() {
+        let s = JsonObj::new()
+            .str("type", "level")
+            .u64("t0", 12345)
+            .f64("alpha", 1e6)
+            .bool("cached", true)
+            .str("note", "a \"quoted\"\nthing")
+            .finish();
+        let v = Json::parse(&s).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("level"));
+        assert_eq!(v.get("t0").unwrap().as_u64(), Some(12345));
+        assert_eq!(v.get("alpha").unwrap().as_f64(), Some(1e6));
+        assert_eq!(v.get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("note").unwrap().as_str(), Some("a \"quoted\"\nthing"));
+    }
+
+    #[test]
+    fn u64_precision_is_exact() {
+        let big = u64::MAX - 7;
+        let s = JsonObj::new().u64("v", big).finish();
+        assert_eq!(
+            Json::parse(&s).unwrap().get("v").unwrap().as_u64(),
+            Some(big)
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = Json::parse(r#"{"a":[1,2.5,{"b":null}],"c":false}"#).unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].get("b"), Some(&Json::Null));
+        assert_eq!(v.get("c").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn float_round_trips_through_display() {
+        for v in [0.1, 1e-6, 123456.789, 1e6] {
+            let s = JsonObj::new().f64("x", v).finish();
+            assert_eq!(Json::parse(&s).unwrap().get("x").unwrap().as_f64(), Some(v));
+        }
+    }
+
+    #[test]
+    fn negative_and_exponent_numbers() {
+        let v = Json::parse(r#"{"a":-3,"b":1e-3}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_f64(), Some(-3.0));
+        assert_eq!(v.get("b").unwrap().as_f64(), Some(1e-3));
+        assert_eq!(v.get("a").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse(r#"{"a":}"#).is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{} extra").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let v = Json::parse(r#"{"s":"é\t"}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("é\t"));
+    }
+}

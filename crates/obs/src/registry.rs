@@ -1,0 +1,470 @@
+//! The metrics registry: named counters/gauges/histograms plus pull-style
+//! sources, rendered as Prometheus text exposition.
+//!
+//! Two registration styles coexist:
+//!
+//! * **Owned instruments** — [`MetricsRegistry::counter`]/[`gauge`]/
+//!   [`histogram`] hand out `Arc`s the caller updates directly. Repeated
+//!   registration of the same `(name, labels)` returns the same
+//!   instrument, so layers can share counters without coordination.
+//! * **Sources** — a [`MetricSource`] is polled at [`gather`] time and
+//!   converts an existing stats structure (`IoStats` snapshots,
+//!   `CacheSnapshot`s, `DomainCounters`, `QueryStats`) into [`Metric`]s
+//!   on demand. The hot paths keep their purpose-built structs; the
+//!   registry is a view, not a rewrite.
+//!
+//! [`gauge`]: MetricsRegistry::gauge
+//! [`histogram`]: MetricsRegistry::histogram
+//! [`gather`]: MetricsRegistry::gather
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::{bucket_upper_micros, HistogramSnapshot, LatencyHistogram, BUCKETS};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding an arbitrary `f64`.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// One gathered metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter.
+    Counter(f64),
+    /// Point-in-time gauge.
+    Gauge(f64),
+    /// Log-bucket latency histogram (exposed in seconds; boxed — the
+    /// snapshot's bucket array dwarfs the scalar variants).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// One gathered metric: name, label set, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Metric name (sanitized to Prometheus' charset at exposition time).
+    pub name: String,
+    /// Label pairs, in presentation order.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: MetricValue,
+}
+
+impl Metric {
+    /// A counter metric.
+    pub fn counter(name: &str, labels: &[(&str, &str)], v: f64) -> Self {
+        Self::build(name, labels, MetricValue::Counter(v))
+    }
+
+    /// A gauge metric.
+    pub fn gauge(name: &str, labels: &[(&str, &str)], v: f64) -> Self {
+        Self::build(name, labels, MetricValue::Gauge(v))
+    }
+
+    fn build(name: &str, labels: &[(&str, &str)], value: MetricValue) -> Self {
+        Self {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value,
+        }
+    }
+}
+
+/// A pull-style producer of metrics, polled at gather time.
+pub trait MetricSource: Send + Sync {
+    /// Produce the source's current metrics.
+    fn collect(&self) -> Vec<Metric>;
+}
+
+impl<F> MetricSource for F
+where
+    F: Fn() -> Vec<Metric> + Send + Sync,
+{
+    fn collect(&self) -> Vec<Metric> {
+        self()
+    }
+}
+
+/// Registered instruments of one kind: `(name, labels, instrument)`.
+type Instruments<T> = Vec<(String, Vec<(String, String)>, Arc<T>)>;
+
+#[derive(Default)]
+struct Inner {
+    counters: Instruments<Counter>,
+    gauges: Instruments<Gauge>,
+    histograms: Instruments<LatencyHistogram>,
+    sources: Vec<Box<dyn MetricSource>>,
+}
+
+/// A registry of named instruments and sources. Cheap to share
+/// (`Arc<MetricsRegistry>`); gathering takes one lock briefly.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .field("sources", &inner.sources.len())
+            .finish()
+    }
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or look up) a counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let labels = owned_labels(labels);
+        let mut inner = self.inner.lock().unwrap();
+        if let Some((_, _, c)) = inner
+            .counters
+            .iter()
+            .find(|(n, l, _)| n == name && *l == labels)
+        {
+            return c.clone();
+        }
+        let c = Arc::new(Counter::default());
+        inner.counters.push((name.to_string(), labels, c.clone()));
+        c
+    }
+
+    /// Register (or look up) a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let labels = owned_labels(labels);
+        let mut inner = self.inner.lock().unwrap();
+        if let Some((_, _, g)) = inner
+            .gauges
+            .iter()
+            .find(|(n, l, _)| n == name && *l == labels)
+        {
+            return g.clone();
+        }
+        let g = Arc::new(Gauge::default());
+        inner.gauges.push((name.to_string(), labels, g.clone()));
+        g
+    }
+
+    /// Register (or look up) a histogram. The handed-out histogram may
+    /// also be shared with other users (e.g. the query engine records
+    /// into the same instance the registry exposes).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<LatencyHistogram> {
+        let labels = owned_labels(labels);
+        let mut inner = self.inner.lock().unwrap();
+        if let Some((_, _, h)) = inner
+            .histograms
+            .iter()
+            .find(|(n, l, _)| n == name && *l == labels)
+        {
+            return h.clone();
+        }
+        let h = Arc::new(LatencyHistogram::new());
+        inner.histograms.push((name.to_string(), labels, h.clone()));
+        h
+    }
+
+    /// Register an externally-owned histogram under a name.
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        histogram: Arc<LatencyHistogram>,
+    ) {
+        let labels = owned_labels(labels);
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .histograms
+            .retain(|(n, l, _)| !(n == name && *l == labels));
+        inner.histograms.push((name.to_string(), labels, histogram));
+    }
+
+    /// Register a pull-style source.
+    pub fn register_source(&self, source: Box<dyn MetricSource>) {
+        self.inner.lock().unwrap().sources.push(source);
+    }
+
+    /// Collect every instrument and source into a flat metric list.
+    pub fn gather(&self) -> Vec<Metric> {
+        let inner = self.inner.lock().unwrap();
+        let mut out = Vec::new();
+        for (name, labels, c) in &inner.counters {
+            out.push(Metric {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: MetricValue::Counter(c.get() as f64),
+            });
+        }
+        for (name, labels, g) in &inner.gauges {
+            out.push(Metric {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: MetricValue::Gauge(g.get()),
+            });
+        }
+        for (name, labels, h) in &inner.histograms {
+            out.push(Metric {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: MetricValue::Histogram(Box::new(h.snapshot())),
+            });
+        }
+        for source in &inner.sources {
+            out.extend(source.collect());
+        }
+        out
+    }
+
+    /// Render the gathered metrics in the Prometheus text exposition
+    /// format (version 0.0.4): `# TYPE` headers, label sets, histograms
+    /// as cumulative `_bucket{le=…}` series in seconds.
+    pub fn prometheus_text(&self) -> String {
+        let metrics = self.gather();
+        // Group by name so each family gets exactly one # TYPE header,
+        // in deterministic (sorted) order.
+        let mut families: BTreeMap<String, Vec<&Metric>> = BTreeMap::new();
+        for m in &metrics {
+            families.entry(m.name.clone()).or_default().push(m);
+        }
+        let mut out = String::new();
+        for (name, members) in &families {
+            let name = sanitize_name(name);
+            let kind = match members[0].value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for m in members {
+                match &m.value {
+                    MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                        let _ = writeln!(out, "{name}{} {}", label_str(&m.labels, None), num(*v));
+                    }
+                    MetricValue::Histogram(snap) => {
+                        let mut cum = 0u64;
+                        for i in 0..BUCKETS {
+                            cum += snap.buckets[i];
+                            let le = bucket_upper_micros(i) as f64 / 1e6;
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {cum}",
+                                label_str(&m.labels, Some(&num(le)))
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cum}",
+                            label_str(&m.labels, Some("+Inf"))
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{name}_sum{} {}",
+                            label_str(&m.labels, None),
+                            num(snap.total_nanos as f64 / 1e9)
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{name}_count{} {}",
+                            label_str(&m.labels, None),
+                            snap.count
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .enumerate()
+        .map(|(i, c)| match c {
+            'a'..='z' | 'A'..='Z' | '_' | ':' => c,
+            '0'..='9' if i > 0 => c,
+            _ => '_',
+        })
+        .collect()
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn label_str(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_name(k), escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn instruments_are_shared_by_name_and_labels() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("sembfs_requests_total", &[("device", "flash")]);
+        let b = r.counter("sembfs_requests_total", &[("device", "flash")]);
+        let c = r.counter("sembfs_requests_total", &[("device", "ssd")]);
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(c.get(), 0);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn gather_includes_sources() {
+        let r = MetricsRegistry::new();
+        r.gauge("sembfs_locality", &[]).set(0.75);
+        r.register_source(Box::new(|| {
+            vec![Metric::counter("sembfs_extra_total", &[], 7.0)]
+        }));
+        let metrics = r.gather();
+        assert!(metrics
+            .iter()
+            .any(|m| m.name == "sembfs_extra_total" && m.value == MetricValue::Counter(7.0)));
+        assert!(metrics
+            .iter()
+            .any(|m| m.name == "sembfs_locality" && m.value == MetricValue::Gauge(0.75)));
+    }
+
+    #[test]
+    fn prometheus_text_renders_counters_and_gauges() {
+        let r = MetricsRegistry::new();
+        r.counter("sembfs_reads_total", &[("device", "FusionIO ioDrive2")])
+            .add(12);
+        r.gauge("sembfs_hit_rate", &[]).set(0.5);
+        let text = r.prometheus_text();
+        assert!(text.contains("# TYPE sembfs_reads_total counter"), "{text}");
+        assert!(
+            text.contains("sembfs_reads_total{device=\"FusionIO ioDrive2\"} 12"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE sembfs_hit_rate gauge"), "{text}");
+        assert!(text.contains("sembfs_hit_rate 0.5"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative_in_seconds() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("sembfs_query_latency_seconds", &[]);
+        h.record(Duration::from_micros(1)); // bucket 1 (le 2e-6)
+        h.record(Duration::from_micros(100)); // bucket 7 (le 1.28e-4)
+        let text = r.prometheus_text();
+        assert!(
+            text.contains("# TYPE sembfs_query_latency_seconds histogram"),
+            "{text}"
+        );
+        // le=2 µs: 1 sample; le=+Inf: both.
+        assert!(
+            text.contains("sembfs_query_latency_seconds_bucket{le=\"0.000002\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sembfs_query_latency_seconds_bucket{le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sembfs_query_latency_seconds_count 2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        let r = MetricsRegistry::new();
+        r.counter("weird name-with.stuff", &[("label name", "va\"lue")])
+            .inc();
+        let text = r.prometheus_text();
+        assert!(text.contains("weird_name_with_stuff"), "{text}");
+        assert!(text.contains("label_name=\"va\\\"lue\""), "{text}");
+    }
+
+    #[test]
+    fn external_histogram_registration_replaces() {
+        let r = MetricsRegistry::new();
+        let h = Arc::new(LatencyHistogram::new());
+        h.record(Duration::from_micros(5));
+        r.register_histogram("sembfs_lat", &[], h.clone());
+        r.register_histogram("sembfs_lat", &[], h); // idempotent
+        let metrics = r.gather();
+        let hist: Vec<_> = metrics.iter().filter(|m| m.name == "sembfs_lat").collect();
+        assert_eq!(hist.len(), 1);
+        match &hist[0].value {
+            MetricValue::Histogram(snap) => assert_eq!(snap.count, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -162,11 +162,20 @@ struct Shared {
     data: Arc<ScenarioData>,
     queue: Mutex<QueueState>,
     work_ready: Condvar,
-    histogram: LatencyHistogram,
+    histogram: Arc<LatencyHistogram>,
     result_cache: ResultCache,
     completed: AtomicU64,
     rejected: AtomicU64,
     result_cache_hits: AtomicU64,
+}
+
+fn kind_of(query: &Query) -> sembfs_obs::QueryKind {
+    match query {
+        Query::ShortestPath { .. } => sembfs_obs::QueryKind::ShortestPath,
+        Query::Distance { .. } => sembfs_obs::QueryKind::Distance,
+        Query::Reachable { .. } => sembfs_obs::QueryKind::Reachable,
+        Query::Neighborhood { .. } => sembfs_obs::QueryKind::Neighborhood,
+    }
 }
 
 impl Shared {
@@ -220,6 +229,7 @@ impl Shared {
                     state = self.work_ready.wait(state).unwrap();
                 }
             };
+            let kind = kind_of(&pending.query);
             let outcome = self.execute(pending.query).map(|result| {
                 self.result_cache.put(&pending.query, &result);
                 let latency = pending.submitted.elapsed();
@@ -231,6 +241,18 @@ impl Shared {
                     cached: false,
                 }
             });
+            let tracer = sembfs_obs::global();
+            if tracer.is_enabled() {
+                tracer.span(
+                    tracer.ns_of(pending.submitted),
+                    tracer.now_ns(),
+                    sembfs_obs::TraceEvent::Query {
+                        kind,
+                        cached: false,
+                        ok: outcome.is_ok(),
+                    },
+                );
+            }
             pending.ticket.fulfill(outcome);
         }
     }
@@ -257,7 +279,7 @@ impl QueryEngine {
             data,
             queue: Mutex::new(QueueState::default()),
             work_ready: Condvar::new(),
-            histogram: LatencyHistogram::new(),
+            histogram: Arc::new(LatencyHistogram::new()),
             result_cache: ResultCache::new(config.result_cache_entries),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -304,6 +326,11 @@ impl QueryEngine {
                 .fetch_add(1, Ordering::Relaxed);
             self.shared.completed.fetch_add(1, Ordering::Relaxed);
             self.shared.histogram.record(Duration::ZERO);
+            sembfs_obs::global().instant(sembfs_obs::TraceEvent::Query {
+                kind: kind_of(&query),
+                cached: true,
+                ok: true,
+            });
             return Ok(QueryTicket::ready(Ok(Response {
                 result,
                 latency: Duration::ZERO,
@@ -333,6 +360,39 @@ impl QueryEngine {
     /// Submit and block for the answer.
     pub fn run(&self, query: Query) -> Result<Response, QueryError> {
         self.submit(query)?.wait()
+    }
+
+    /// Register the engine's counters and latency histogram on a metrics
+    /// registry (Prometheus exposition). The histogram is shared, so the
+    /// registry always exposes live bucket counts.
+    pub fn register_metrics(&self, registry: &sembfs_obs::MetricsRegistry) {
+        use sembfs_obs::Metric;
+        registry.register_histogram(
+            "sembfs_query_latency_seconds",
+            &[],
+            Arc::clone(&self.shared.histogram),
+        );
+        let shared = Arc::clone(&self.shared);
+        registry.register_source(Box::new(move || {
+            let labels: &[(&str, &str)] = &[];
+            vec![
+                Metric::counter(
+                    "sembfs_query_completed_total",
+                    labels,
+                    shared.completed.load(Ordering::Relaxed) as f64,
+                ),
+                Metric::counter(
+                    "sembfs_query_rejected_total",
+                    labels,
+                    shared.rejected.load(Ordering::Relaxed) as f64,
+                ),
+                Metric::counter(
+                    "sembfs_query_result_cache_hits_total",
+                    labels,
+                    shared.result_cache_hits.load(Ordering::Relaxed) as f64,
+                ),
+            ]
+        }));
     }
 
     /// Aggregate metrics since the engine was created: throughput,

@@ -1,103 +1,12 @@
-//! Engine metrics: a lock-free log-bucket latency histogram and the
-//! aggregate [`QueryStats`] report.
+//! Engine metrics: the shared log-bucket latency histogram (now provided
+//! by `sembfs-obs`, re-exported here for compatibility) and the aggregate
+//! [`QueryStats`] report.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use sembfs_semext::{CacheSnapshot, IoSnapshot};
 
-/// Number of power-of-two microsecond buckets: bucket `i` holds latencies
-/// in `[2^(i-1), 2^i)` µs (bucket 0 is `< 1 µs`), topping out above an
-/// hour — more than any query this engine can produce.
-const BUCKETS: usize = 42;
-
-/// A fixed log-bucket latency histogram, recordable from any worker
-/// without locks.
-///
-/// Buckets are powers of two in microseconds, so percentile estimates
-/// carry at most 2× resolution error — the right fidelity for a
-/// throughput report, at the cost of two atomic adds per sample.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    /// Exact sum in nanoseconds, for the mean.
-    total_nanos: AtomicU64,
-    count: AtomicU64,
-    /// Maximum observed, in nanoseconds.
-    max_nanos: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            total_nanos: AtomicU64::new(0),
-            count: AtomicU64::new(0),
-            max_nanos: AtomicU64::new(0),
-        }
-    }
-
-    fn bucket_of(latency: Duration) -> usize {
-        let micros = latency.as_micros() as u64;
-        ((64 - micros.leading_zeros()) as usize).min(BUCKETS - 1)
-    }
-
-    /// Record one sample.
-    pub fn record(&self, latency: Duration) {
-        self.buckets[Self::bucket_of(latency)].fetch_add(1, Ordering::Relaxed);
-        self.total_nanos
-            .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.max_nanos
-            .fetch_max(latency.as_nanos() as u64, Ordering::Relaxed);
-    }
-
-    /// Samples recorded so far.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency (zero when empty).
-    pub fn mean(&self) -> Duration {
-        let count = self.count();
-        if count == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_nanos(self.total_nanos.load(Ordering::Relaxed) / count)
-    }
-
-    /// Maximum observed latency.
-    pub fn max(&self) -> Duration {
-        Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed))
-    }
-
-    /// Latency at quantile `q` (e.g. `0.99`), reported as the upper edge
-    /// of the bucket containing that rank; zero when empty.
-    pub fn quantile(&self, q: f64) -> Duration {
-        let count = self.count();
-        if count == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                // Upper edge of bucket i: 2^i µs (bucket 0 = 1 µs).
-                let micros = 1u64 << i.min(63);
-                return Duration::from_micros(micros);
-            }
-        }
-        self.max()
-    }
-}
+pub use sembfs_obs::{HistogramSnapshot, LatencyHistogram};
 
 /// An aggregate engine report over one measurement window.
 #[derive(Debug, Clone)]
@@ -179,40 +88,5 @@ impl QueryStats {
             ));
         }
         out
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn histogram_records_and_ranks() {
-        let h = LatencyHistogram::new();
-        for micros in [1u64, 2, 4, 100, 100, 100, 100, 10_000] {
-            h.record(Duration::from_micros(micros));
-        }
-        assert_eq!(h.count(), 8);
-        // p50 falls in the 100 µs cluster → bucket upper edge 128 µs.
-        assert_eq!(h.quantile(0.5), Duration::from_micros(128));
-        // p99 picks the tail sample's bucket (upper edge ≥ 10 ms sample).
-        assert!(h.quantile(0.99) >= Duration::from_micros(10_000));
-        assert_eq!(h.max(), Duration::from_micros(10_000));
-        assert!(h.mean() > Duration::from_micros(1000));
-    }
-
-    #[test]
-    fn empty_histogram_is_zero() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.quantile(0.99), Duration::ZERO);
-        assert_eq!(h.mean(), Duration::ZERO);
-        assert_eq!(h.count(), 0);
-    }
-
-    #[test]
-    fn sub_microsecond_goes_to_bucket_zero() {
-        let h = LatencyHistogram::new();
-        h.record(Duration::from_nanos(300));
-        assert_eq!(h.quantile(1.0), Duration::from_micros(1));
     }
 }

@@ -249,9 +249,68 @@ impl Device {
         self.mode
     }
 
+    /// The instant the device clock started. All recorded arrival and
+    /// completion nanoseconds are offsets from this epoch; aligning a
+    /// tracer on it (`Tracer::set_epoch`) makes trace timestamps and
+    /// device timestamps directly comparable.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
     /// Snapshot the request statistics.
     pub fn snapshot(&self) -> IoSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Register this device's request statistics as pull-style gauges and
+    /// counters on a metrics registry (Prometheus exposition).
+    pub fn register_metrics(self: &Arc<Self>, registry: &sembfs_obs::MetricsRegistry) {
+        use sembfs_obs::Metric;
+        let dev = Arc::clone(self);
+        let name = dev.profile.name;
+        registry.register_source(Box::new(move || {
+            let snap = dev.snapshot();
+            let labels: &[(&str, &str)] = &[("device", name)];
+            vec![
+                Metric::counter(
+                    "sembfs_device_read_requests_total",
+                    labels,
+                    snap.requests as f64,
+                ),
+                Metric::counter("sembfs_device_read_bytes_total", labels, snap.bytes as f64),
+                Metric::counter(
+                    "sembfs_device_response_seconds_total",
+                    labels,
+                    snap.response_ns as f64 / 1e9,
+                ),
+                Metric::counter(
+                    "sembfs_device_service_seconds_total",
+                    labels,
+                    snap.service_ns as f64 / 1e9,
+                ),
+                Metric::gauge("sembfs_device_avgqu_sz", labels, snap.avgqu_sz()),
+                Metric::gauge("sembfs_device_avgrq_sz", labels, snap.avgrq_sz()),
+            ]
+        }));
+    }
+
+    /// Emit an NVM-read span on the global tracer, translating this
+    /// device's clock (`ns since [`Self::epoch`]`) into the tracer's
+    /// timebase. When the tracer epoch is aligned on the device epoch the
+    /// translation is the identity; otherwise it is still correct, just
+    /// offset.
+    fn trace_read(&self, arrival_ns: u64, completion_ns: u64, bytes: u64, requests: u64) {
+        let tracer = sembfs_obs::global();
+        if !tracer.is_enabled() {
+            return;
+        }
+        let start = tracer.ns_of(self.epoch + Duration::from_nanos(arrival_ns));
+        let end = tracer.ns_of(self.epoch + Duration::from_nanos(completion_ns));
+        tracer.span(
+            start,
+            end,
+            sembfs_obs::TraceEvent::NvmRead { bytes, requests },
+        );
     }
 
     /// Reset the request statistics (the timeline keeps running).
@@ -306,6 +365,7 @@ impl Device {
             service,
             queue_ahead,
         );
+        self.trace_read(arrival, completion, self.profile.physical_bytes(bytes), 1);
         completion
     }
 
@@ -362,6 +422,8 @@ impl Device {
                 queue_ahead,
             );
         }
+        let physical: u64 = sizes.iter().map(|&b| self.profile.physical_bytes(b)).sum();
+        self.trace_read(arrival, completion, physical, sizes.len() as u64);
         completion
     }
 

@@ -306,6 +306,7 @@ impl ShardedPageCache {
         drop(shard);
         if evicted {
             self.stats[si].evictions.fetch_add(1, Ordering::Relaxed);
+            sembfs_obs::global().instant(sembfs_obs::TraceEvent::CacheEvict { pages: 1 });
         }
         Some(PagePin {
             cache: self,
@@ -346,6 +347,37 @@ impl ShardedPageCache {
             total.readahead_pages += s.readahead_pages;
         }
         total
+    }
+
+    /// Register the cache's aggregate counters as pull-style metrics on a
+    /// registry (Prometheus exposition).
+    pub fn register_metrics(self: &Arc<Self>, registry: &sembfs_obs::MetricsRegistry) {
+        use sembfs_obs::Metric;
+        let cache = Arc::clone(self);
+        registry.register_source(Box::new(move || {
+            let snap = cache.snapshot();
+            let labels: &[(&str, &str)] = &[];
+            vec![
+                Metric::counter("sembfs_cache_hits_total", labels, snap.hits as f64),
+                Metric::counter("sembfs_cache_misses_total", labels, snap.misses as f64),
+                Metric::counter(
+                    "sembfs_cache_evictions_total",
+                    labels,
+                    snap.evictions as f64,
+                ),
+                Metric::counter(
+                    "sembfs_cache_readahead_pages_total",
+                    labels,
+                    snap.readahead_pages as f64,
+                ),
+                Metric::gauge("sembfs_cache_hit_rate", labels, snap.hit_rate()),
+                Metric::gauge(
+                    "sembfs_cache_resident_pages",
+                    labels,
+                    cache.resident_pages() as f64,
+                ),
+            ]
+        }));
     }
 
     /// Per-shard counter snapshots (load-balance diagnostics for the
@@ -391,6 +423,8 @@ impl PagePin<'_> {
         s.pinned = false;
         s.referenced = true;
         self.filled = true;
+        drop(shard);
+        sembfs_obs::global().instant(sembfs_obs::TraceEvent::CacheFill { pages: 1 });
     }
 }
 

@@ -24,9 +24,17 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut i = 0;
     while i < args.len() {
         if let Some(name) = args[i].strip_prefix("--") {
-            let value = args.get(i + 1).cloned().unwrap_or_default();
-            flags.insert(name.to_string(), value);
-            i += 2;
+            // A following `--flag` means this flag is boolean-valued.
+            match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                Some(value) => {
+                    flags.insert(name.to_string(), value.clone());
+                    i += 2;
+                }
+                None => {
+                    flags.insert(name.to_string(), String::new());
+                    i += 1;
+                }
+            }
         } else {
             i += 1;
         }
@@ -97,12 +105,17 @@ fn main() {
         "bfs" => {
             let scenario = scenario_of(&flags);
             let num_roots: usize = flag(&flags, "roots", 8);
+            let trace_out = flags.get("trace-out").filter(|p| !p.is_empty()).cloned();
             let edges = params.generate();
             let opts = ScenarioOptions {
                 delay_mode: sembfs::semext::DelayMode::Throttled,
                 ..Default::default()
             };
             let data = ScenarioData::build(&edges, scenario, opts).expect("build");
+            if trace_out.is_some() {
+                data.align_trace_epoch();
+                sembfs::obs::global().set_enabled(true);
+            }
             let roots = select_roots(params.num_vertices(), num_roots, seed, |v| data.degree(v));
             let policy = scenario.best_policy();
             println!(
@@ -117,6 +130,38 @@ fn main() {
             .expect("all rounds validate");
             println!("{}", summary.teps_stats.to_report());
             println!("score (median): {:.3} MTEPS", summary.median_teps() / 1e6);
+            if let Some(path) = trace_out {
+                let tracer = sembfs::obs::global();
+                tracer.set_enabled(false);
+                let samples = tracer.drain();
+                sembfs::obs::write_jsonl(std::path::Path::new(&path), &samples)
+                    .expect("write trace");
+                let dropped = tracer.dropped();
+                println!(
+                    "trace: {} samples → {path}{}",
+                    samples.len(),
+                    if dropped > 0 {
+                        format!(" ({dropped} dropped)")
+                    } else {
+                        String::new()
+                    }
+                );
+                println!("view:  sembfs report {path}");
+            }
+        }
+        "report" => {
+            let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                eprintln!("usage: sembfs report TRACE.jsonl [--chrome OUT.json]");
+                std::process::exit(2);
+            };
+            let samples = sembfs::obs::read_jsonl(std::path::Path::new(path)).expect("read trace");
+            if let Some(out) = flags.get("chrome").filter(|p| !p.is_empty()) {
+                std::fs::write(out, sembfs::obs::chrome_trace(&samples)).expect("write chrome");
+                println!("wrote Chrome trace ({} samples) to {out}", samples.len());
+            } else {
+                let reports = sembfs::obs::build_reports(&samples);
+                print!("{}", sembfs::obs::render_reports(&reports));
+            }
         }
         "sweep" => {
             let scenario = scenario_of(&flags);
@@ -229,8 +274,16 @@ fn main() {
             let queue: usize = flag(&flags, "queue", 64);
             let zipf: f64 = flag(&flags, "zipf", 1.0);
             let result_cache: usize = flag(&flags, "result-cache", 1024);
+            let prometheus = flags.contains_key("prometheus");
             for scenario in scenarios {
                 let data = Arc::new(build_query_data(&params, scenario, &flags));
+                let registry = sembfs::obs::MetricsRegistry::new();
+                if let Some(dev) = data.device() {
+                    dev.register_metrics(&registry);
+                }
+                if let Some(cache) = data.page_cache() {
+                    cache.register_metrics(&registry);
+                }
                 let engine = Arc::new(QueryEngine::new(
                     data.clone(),
                     EngineConfig {
@@ -239,6 +292,7 @@ fn main() {
                         result_cache_entries: result_cache,
                     },
                 ));
+                engine.register_metrics(&registry);
                 let sampler = Arc::new(ZipfSampler::from_degrees(&data, zipf, 4096));
                 println!(
                     "{} | {clients} clients × {requests} requests | {workers} workers, queue {queue}, zipf θ={zipf}",
@@ -270,6 +324,9 @@ fn main() {
                     }
                 });
                 println!("{}\n", engine.stats().report());
+                if prometheus {
+                    println!("{}", registry.prometheus_text());
+                }
             }
         }
         _ => usage(),
@@ -300,12 +357,14 @@ fn usage() {
          commands:\n\
          \x20 generate  --scale N [--seed S] [--out FILE]   write a Kronecker edge file\n\
          \x20 info      --scale N [--seed S]                print Table II-style sizes\n\
-         \x20 bfs       --scale N [--scenario dram|flash|ssd] [--roots R]  run the benchmark\n\
+         \x20 bfs       --scale N [--scenario dram|flash|ssd] [--roots R]\n\
+         \x20           [--trace-out TRACE.jsonl]            run the benchmark\n\
+         \x20 report    TRACE.jsonl [--chrome OUT.json]      per-level table from a trace\n\
          \x20 sweep     --scale N [--scenario dram|flash|ssd] [--roots R]  α/β sweep\n\
          \x20 query     --scale N [--scenario dram|flash|ssd] [--src A --dst B | --pairs P]\n\
          \x20           [--workers W] [--cache-mb M]        validated shortest-path queries\n\
          \x20 serve-sim --scale N [--scenario dram|flash|ssd|all] [--clients C] [--workers W]\n\
          \x20           [--requests R] [--queue Q] [--zipf THETA] [--result-cache E]\n\
-         \x20           [--cache-mb M]                      closed-loop query load test"
+         \x20           [--cache-mb M] [--prometheus]       closed-loop query load test"
     );
 }

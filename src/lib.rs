@@ -19,6 +19,9 @@
 //!   scenarios, baselines.
 //! * [`query`] — the concurrent point-query engine: bidirectional
 //!   shortest paths, worker pool, result cache, latency metrics.
+//! * [`obs`] — observability: the span/event tracer, metrics registry
+//!   with Prometheus exposition, JSONL/Chrome trace sinks, and the
+//!   per-level run-report pipeline.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +58,7 @@ pub use sembfs_csr as csr;
 pub use sembfs_dist as dist;
 pub use sembfs_graph500 as graph500;
 pub use sembfs_numa as numa;
+pub use sembfs_obs as obs;
 pub use sembfs_query as query;
 pub use sembfs_semext as semext;
 

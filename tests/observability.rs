@@ -1,0 +1,215 @@
+//! Integration tests for the observability layer: the trace pipeline
+//! against a real hybrid BFS over the simulated NVM device.
+//!
+//! The tracer is a process-wide singleton, so every test serializes on
+//! [`trace_lock`] and drains/resets before recording.
+
+use std::sync::Mutex;
+
+use sembfs::core::{
+    AlphaBetaPolicy, BfsConfig, Direction, DirectionPolicy, FixedPolicy, PolicyCtx, Scenario,
+    ScenarioData, ScenarioOptions,
+};
+use sembfs::graph500::{select_roots, KroneckerParams};
+use sembfs::numa::Topology;
+use sembfs::obs::{build_reports, Dir, Sample, TraceEvent};
+use sembfs::semext::DelayMode;
+
+fn trace_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn core_dir(d: Dir) -> Direction {
+    match d {
+        Dir::TopDown => Direction::TopDown,
+        Dir::BottomUp => Direction::BottomUp,
+    }
+}
+
+fn flash_scenario(scale: u32, delay_mode: DelayMode) -> (ScenarioData, u32) {
+    let edges = KroneckerParams::graph500(scale, 7).generate();
+    let opts = ScenarioOptions {
+        topology: Topology::new(2, 2),
+        delay_mode,
+        ..Default::default()
+    };
+    let data = ScenarioData::build(&edges, Scenario::DramPcieFlash, opts).unwrap();
+    let root = select_roots(data.csr().num_vertices(), 1, 3, |v| data.degree(v))[0];
+    (data, root)
+}
+
+/// Record one traced run and hand back the drained samples.
+fn trace_run(
+    data: &ScenarioData,
+    root: u32,
+    policy: &dyn DirectionPolicy,
+) -> (sembfs::core::BfsRun, Vec<Sample>) {
+    let tracer = sembfs::obs::global();
+    tracer.set_enabled(false);
+    tracer.drain();
+    data.align_trace_epoch();
+    tracer.set_enabled(true);
+    let run = data.run(root, policy, &BfsConfig::paper()).unwrap();
+    tracer.set_enabled(false);
+    let samples = tracer.drain();
+    (run, samples)
+}
+
+/// Satellite 1: with the device epoch shared, a traced level's span must
+/// fully contain the spans of the device requests it issued. Requires the
+/// throttled device — accounting-mode completions live on a simulated
+/// timeline that can outrun the wall clock.
+#[test]
+fn level_spans_contain_their_device_reads() {
+    let _g = trace_lock();
+    let (data, root) = flash_scenario(11, DelayMode::Throttled);
+    // Top-down only: every level reads neighbor lists from the device.
+    let (_, samples) = trace_run(&data, root, &FixedPolicy(Direction::TopDown));
+
+    let levels: Vec<&Sample> = samples
+        .iter()
+        .filter(|s| matches!(s.event, TraceEvent::Level { .. }))
+        .collect();
+    let reads: Vec<&Sample> = samples
+        .iter()
+        .filter(|s| matches!(s.event, TraceEvent::NvmRead { .. }))
+        .collect();
+    assert!(!levels.is_empty(), "no level spans recorded");
+    assert!(
+        !reads.is_empty(),
+        "top-down flash BFS issued no device reads"
+    );
+
+    for r in &reads {
+        let containing = levels
+            .iter()
+            .find(|l| l.start_ns <= r.start_ns && r.end_ns <= l.end_ns);
+        assert!(
+            containing.is_some(),
+            "device read [{}, {}] outside every level span",
+            r.start_ns,
+            r.end_ns
+        );
+    }
+}
+
+/// Satellite 3: the recorded switch decisions carry everything the policy
+/// consumed, so re-running the policy over them must reproduce the same
+/// direction sequence the run actually took.
+#[test]
+fn switch_decisions_replay_to_the_same_directions() {
+    let _g = trace_lock();
+    let (data, root) = flash_scenario(12, DelayMode::Accounting);
+    // dram_only_best switches eagerly enough to flip twice at this scale.
+    let policy = AlphaBetaPolicy::dram_only_best();
+    let (run, samples) = trace_run(&data, root, &policy);
+
+    let mut switches: Vec<_> = samples
+        .iter()
+        .filter_map(|s| match s.event {
+            TraceEvent::Switch {
+                level,
+                from,
+                to,
+                frontier,
+                prev_frontier,
+                n_all,
+                unvisited,
+                alpha,
+                beta,
+            } => Some((
+                level,
+                from,
+                to,
+                frontier,
+                prev_frontier,
+                n_all,
+                unvisited,
+                alpha,
+                beta,
+            )),
+            _ => None,
+        })
+        .collect();
+    switches.sort_by_key(|s| s.0);
+    assert_eq!(
+        switches.len(),
+        run.levels.len(),
+        "one decision per executed level"
+    );
+    assert!(
+        switches.iter().any(|s| s.1 != s.2),
+        "expected at least one actual direction flip"
+    );
+
+    for (level, from, to, frontier, prev_frontier, n_all, unvisited, alpha, beta) in switches {
+        let replayed = AlphaBetaPolicy::new(alpha, beta).decide(&PolicyCtx {
+            current: core_dir(from),
+            level,
+            n_all,
+            frontier,
+            prev_frontier,
+            frontier_edges: None,
+            unvisited,
+        });
+        assert_eq!(
+            replayed,
+            core_dir(to),
+            "level {level}: replayed decision diverged from the recorded one"
+        );
+        // The executed level must match the recorded decision too.
+        let executed = run.levels[(level - 1) as usize].direction;
+        assert_eq!(executed, core_dir(to));
+    }
+}
+
+/// Acceptance: `build_reports` over a drained trace reproduces the
+/// per-level direction/frontier/discovered/edge counts of the in-process
+/// `LevelStats`, and the run header matches the `BfsRun`.
+#[test]
+fn report_reproduces_in_process_level_stats() {
+    let _g = trace_lock();
+    let (data, root) = flash_scenario(12, DelayMode::Accounting);
+    let policy = Scenario::DramPcieFlash.best_policy();
+    let (run, samples) = trace_run(&data, root, &policy);
+
+    let reports = build_reports(&samples);
+    assert_eq!(reports.len(), 1);
+    let report = &reports[0];
+    assert_eq!(report.root, Some(root as u64));
+    assert_eq!(report.visited, run.visited);
+    assert_eq!(report.teps_edges, run.teps_edges);
+    assert_eq!(report.levels.len(), run.levels.len());
+
+    for (row, stats) in report.levels.iter().zip(&run.levels) {
+        assert_eq!(row.level, stats.level);
+        assert_eq!(core_dir(row.dir), stats.direction);
+        assert_eq!(row.frontier, stats.frontier_size);
+        assert_eq!(row.discovered, stats.discovered);
+        assert_eq!(row.scanned_edges, stats.scanned_edges);
+        assert_eq!(row.nvm_edges, stats.nvm_edges);
+        if let Some(io) = &stats.io {
+            assert_eq!(row.io_requests, io.requests);
+        }
+        if let Some(cache) = &stats.cache {
+            assert_eq!(row.cache_hits, cache.hits);
+            assert_eq!(row.cache_misses, cache.misses);
+        }
+    }
+}
+
+/// The disabled tracer records nothing — a traced run followed by a
+/// disabled run leaves the rings empty.
+#[test]
+fn disabled_tracer_records_nothing() {
+    let _g = trace_lock();
+    let (data, root) = flash_scenario(10, DelayMode::Accounting);
+    let policy = Scenario::DramPcieFlash.best_policy();
+    let (_, samples) = trace_run(&data, root, &policy);
+    assert!(!samples.is_empty());
+
+    // Tracer is now disabled; another run must add nothing.
+    data.run(root, &policy, &BfsConfig::paper()).unwrap();
+    assert!(sembfs::obs::global().drain().is_empty());
+}
