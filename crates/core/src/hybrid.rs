@@ -17,7 +17,7 @@ use crate::bitmap::AtomicBitmap;
 use crate::bottomup::{bottom_up_step, BottomUpSource};
 use crate::frontier::{bitmap_to_queue, queue_to_bitmap};
 use crate::level_stats::{Direction, LevelStats};
-use crate::policy::{DirectionPolicy, PolicyCtx};
+use crate::policy::{DirectionPolicy, PolicyCtx, PolicyEvent};
 use crate::topdown::top_down_step;
 use crate::tree::{new_parent_array, snapshot_parents};
 use crate::VertexId;
@@ -253,6 +253,11 @@ where
         } else {
             None
         };
+        let event = cfg
+            .io_monitor
+            .as_ref()
+            .is_some_and(|d| d.is_degraded())
+            .then_some(PolicyEvent::DeviceDegraded);
         let decided = policy.decide(&PolicyCtx {
             current: direction,
             level,
@@ -261,6 +266,7 @@ where
             prev_frontier,
             frontier_edges,
             unvisited: n - visited_count,
+            event,
         });
 
         match decided {
@@ -388,6 +394,7 @@ where
     let mut visited_count = 1u64;
     let mut level = 1u32;
     let mut elapsed = Duration::ZERO;
+    let mut was_degraded = false;
 
     while frontier_size > 0 {
         // Policy decision for this level. The frontier's outgoing-edge
@@ -410,6 +417,22 @@ where
         } else {
             None
         };
+
+        // Per-level device-health check: the monitored device reports
+        // degraded once its fault rate crosses the plan's threshold, and
+        // the policy is told so it can bias to the DRAM-resident
+        // bottom-up direction. The transition is traced once per edge
+        // (healthy→degraded), not per level.
+        let degraded = cfg.io_monitor.as_ref().is_some_and(|d| d.is_degraded());
+        if degraded && !was_degraded && tracer.is_enabled() {
+            if let Some(faults) = cfg.io_monitor.as_ref().and_then(|d| d.faults()) {
+                let (errors, requests) = faults.health().counts();
+                tracer.instant(sembfs_obs::TraceEvent::Degraded { errors, requests });
+            }
+        }
+        was_degraded = degraded;
+        let event = degraded.then_some(PolicyEvent::DeviceDegraded);
+
         let decided = policy.decide(&PolicyCtx {
             current: direction,
             level,
@@ -418,6 +441,7 @@ where
             prev_frontier,
             frontier_edges,
             unvisited: n - visited_count,
+            event,
         });
 
         // Record the decision with its full inputs: level, both frontier
@@ -765,6 +789,47 @@ mod tests {
         .unwrap();
         assert_eq!(hybrid.levels[6], 3);
         assert_eq!(hybrid.levels[0], 0);
+    }
+
+    #[test]
+    fn degraded_monitor_biases_all_levels_bottom_up() {
+        use sembfs_semext::{DelayMode, DeviceProfile, FaultPlan};
+        let (fg, bg) = star_tail();
+        // A lazy policy that would otherwise run top-down throughout.
+        let policy = AlphaBetaPolicy::new(1.0, 1e9);
+
+        // Pre-degrade the device: the health monitor has seen a fault
+        // rate far past the plan's threshold.
+        let dev = sembfs_semext::Device::with_fault_plan(
+            DeviceProfile::dram(),
+            DelayMode::Accounting,
+            FaultPlan::parse("degrade=0.1").unwrap(),
+        );
+        let health = dev.faults().unwrap().health();
+        for _ in 0..100 {
+            health.record_request();
+            health.record_error();
+        }
+        assert!(dev.is_degraded());
+
+        let cfg = BfsConfig::paper().with_monitor(dev);
+        let run = hybrid_bfs(&fg, &bg, 0, &policy, &cfg).unwrap();
+        assert!(
+            run.levels
+                .iter()
+                .all(|l| l.direction == Direction::BottomUp),
+            "degraded device must force bottom-up: {:?}",
+            run.levels.iter().map(|l| l.direction).collect::<Vec<_>>()
+        );
+        // The traversal itself is unaffected.
+        assert_eq!(run.visited, 7);
+        assert_eq!(run.parent[6], 5);
+
+        // Same graph with a healthy monitor stays top-down.
+        let healthy = sembfs_semext::Device::unmetered();
+        let cfg = BfsConfig::paper().with_monitor(healthy);
+        let run = hybrid_bfs(&fg, &bg, 0, &policy, &cfg).unwrap();
+        assert!(run.levels.iter().all(|l| l.direction == Direction::TopDown));
     }
 
     #[test]

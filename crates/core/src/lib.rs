@@ -42,7 +42,9 @@ pub use bottomup::{BottomUpSource, SearchOutcome};
 pub use energy::PowerModel;
 pub use hybrid::{hybrid_bfs, hybrid_bfs_distances, BfsConfig, BfsRun, DistanceRun};
 pub use level_stats::{Direction, LevelStats};
-pub use policy::{AlphaBetaPolicy, BeamerPolicy, DirectionPolicy, FixedPolicy, PolicyCtx};
+pub use policy::{
+    AlphaBetaPolicy, BeamerPolicy, DirectionPolicy, FixedPolicy, PolicyCtx, PolicyEvent,
+};
 pub use reference::reference_bfs;
 pub use scenario::{AccessPath, Scenario, ScenarioData, ScenarioOptions};
 pub use tree::status_data_bytes;

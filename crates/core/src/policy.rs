@@ -16,6 +16,18 @@
 
 use crate::level_stats::Direction;
 
+/// An out-of-band condition the driver reports into the direction
+/// decision, alongside the frontier-size inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PolicyEvent {
+    /// The semi-external device's health monitor crossed its degradation
+    /// threshold: error/stall rates make every forward-graph (top-down)
+    /// read expensive and unreliable, so the policy should bias toward
+    /// the DRAM-resident bottom-up direction.
+    DeviceDegraded,
+}
+
 /// Inputs available to a policy when choosing the next level's direction.
 #[derive(Debug, Clone, Copy)]
 pub struct PolicyCtx {
@@ -34,6 +46,9 @@ pub struct PolicyCtx {
     pub frontier_edges: Option<u64>,
     /// Number of still-unvisited vertices.
     pub unvisited: u64,
+    /// Out-of-band condition in effect for this decision, when the
+    /// driver observed one (e.g. [`PolicyEvent::DeviceDegraded`]).
+    pub event: Option<PolicyEvent>,
 }
 
 /// A rule choosing each level's direction.
@@ -67,6 +82,7 @@ pub trait DirectionPolicy: Send + Sync {
 ///     prev_frontier: 1 << 16,
 ///     frontier_edges: None,
 ///     unvisited: 1 << 26,
+///     event: None,
 /// };
 /// // … so the rule leaves the (possibly NVM-resident) forward graph:
 /// assert_eq!(policy.decide(&ctx), Direction::BottomUp);
@@ -104,6 +120,13 @@ impl AlphaBetaPolicy {
 
 impl DirectionPolicy for AlphaBetaPolicy {
     fn decide(&self, ctx: &PolicyCtx) -> Direction {
+        // Graceful degradation: while the device is unhealthy every
+        // top-down level pays retries and stalls on the forward graph, so
+        // the bottom-up (DRAM-resident backward graph) direction wins
+        // regardless of the frontier thresholds.
+        if ctx.event == Some(PolicyEvent::DeviceDegraded) {
+            return Direction::BottomUp;
+        }
         let n_all = ctx.n_all as f64;
         let nf = ctx.frontier as f64;
         match ctx.current {
@@ -221,6 +244,7 @@ mod tests {
             prev_frontier: prev,
             frontier_edges: None,
             unvisited: n - cur,
+            event: None,
         }
     }
 
@@ -302,6 +326,30 @@ mod tests {
         assert_eq!(p.decide(&c), Direction::BottomUp);
         // Tiny frontier edge count → stay.
         c.frontier_edges = Some(10);
+        assert_eq!(p.decide(&c), Direction::TopDown);
+    }
+
+    #[test]
+    fn degraded_device_forces_bottom_up() {
+        let p = AlphaBetaPolicy::new(100.0, 100.0);
+        let n = 10_000;
+        // A tiny shrinking frontier would normally run (or return to)
+        // top-down; a degraded device overrides both cases.
+        for current in [Direction::TopDown, Direction::BottomUp] {
+            let mut c = ctx(current, 200, 50, n);
+            assert_eq!(p.decide(&c), Direction::TopDown, "healthy baseline");
+            c.event = Some(PolicyEvent::DeviceDegraded);
+            assert_eq!(p.decide(&c), Direction::BottomUp, "degraded override");
+        }
+    }
+
+    #[test]
+    fn fixed_policy_ignores_degradation() {
+        // The fixed baselines must stay fixed — they exist to measure a
+        // single direction, degraded device or not.
+        let p = FixedPolicy(Direction::TopDown);
+        let mut c = ctx(Direction::TopDown, 200, 50, 10_000);
+        c.event = Some(PolicyEvent::DeviceDegraded);
         assert_eq!(p.decide(&c), Direction::TopDown);
     }
 

@@ -23,8 +23,8 @@ use sembfs_graph500::edge_list::EdgeList;
 use sembfs_numa::{RangePartition, Topology};
 use sembfs_semext::ext_csr::{write_csr_files, ExtCsr};
 use sembfs_semext::{
-    ChunkedReader, DelayMode, Device, DeviceProfile, FileBackend, MmapBackend, NvmStore, Result,
-    ShardedCachedStore, ShardedPageCache, TempDir,
+    ChunkedReader, DelayMode, Device, DeviceProfile, FaultPlan, FileBackend, MmapBackend, NvmStore,
+    PageIntegrity, Result, ShardedCachedStore, ShardedPageCache, TempDir,
 };
 
 use crate::hybrid::{hybrid_bfs, hybrid_bfs_distances, BfsConfig, BfsRun, DistanceRun};
@@ -139,6 +139,16 @@ pub struct ScenarioOptions {
     pub data_dir: Option<PathBuf>,
     /// Sort adjacency lists during construction (deterministic layout).
     pub sort_neighbors: bool,
+    /// Deterministic fault-injection plan for the scenario's simulated
+    /// device (`None` = fault-free; ignored in the DRAM-only scenario,
+    /// which has no device).
+    pub fault_plan: Option<FaultPlan>,
+    /// Seal per-page checksums over the offloaded files at build time and
+    /// verify every fill against them. This is what turns silent
+    /// corruption (torn pages, injected bit-flips) into a typed
+    /// `ChecksumMismatch` instead of a wrong-but-valid BFS tree, and what
+    /// lets the retry path *heal* `corrupt` faults.
+    pub verify_pages: bool,
 }
 
 impl Default for ScenarioOptions {
@@ -156,6 +166,8 @@ impl Default for ScenarioOptions {
             cache_readahead_pages: 0,
             data_dir: None,
             sort_neighbors: false,
+            fault_plan: None,
+            verify_pages: true,
         }
     }
 }
@@ -245,8 +257,14 @@ impl ScenarioData {
             let profile = options
                 .device_profile_override
                 .clone()
-                .unwrap_or(default_profile);
-            Device::new(profile.scaled(options.device_scale), options.delay_mode)
+                .unwrap_or(default_profile)
+                .scaled(options.device_scale);
+            match &options.fault_plan {
+                Some(plan) if !plan.is_noop() => {
+                    Device::with_fault_plan(profile, options.delay_mode, plan.clone())
+                }
+                _ => Device::new(profile, options.delay_mode),
+            }
         });
 
         let needs_files = device.is_some();
@@ -282,6 +300,16 @@ impl ScenarioData {
             }
             _ => None,
         };
+        // Checksum sealing for a freshly written offload file. The seal
+        // reads through a bare `FileBackend` — the file was just written by
+        // this process, so the scan is DRAM traffic, not device traffic.
+        let seal = |path: &std::path::Path| -> Result<Option<Arc<PageIntegrity>>> {
+            if !options.verify_pages {
+                return Ok(None);
+            }
+            let sums = PageIntegrity::seal_store(&FileBackend::open(path)?)?;
+            Ok(Some(Arc::new(sums)))
+        };
         let fg_dram = DramForwardGraph::from_csr(&csr, &partition);
         let forward = match &device {
             None => ForwardStore::Dram(fg_dram),
@@ -294,10 +322,15 @@ impl ScenarioData {
                         let domains = paths
                             .iter()
                             .map(|(ip, vp)| {
-                                ExtCsr::new(
-                                    NvmStore::new(MmapBackend::open(ip)?, dev.clone()),
-                                    NvmStore::new(MmapBackend::open(vp)?, dev.clone()),
-                                )
+                                let mut index = NvmStore::new(MmapBackend::open(ip)?, dev.clone());
+                                let mut values = NvmStore::new(MmapBackend::open(vp)?, dev.clone());
+                                if let Some(sums) = seal(ip)? {
+                                    index = index.with_integrity(sums);
+                                }
+                                if let Some(sums) = seal(vp)? {
+                                    values = values.with_integrity(sums);
+                                }
+                                ExtCsr::new(index, values)
                             })
                             .collect::<Result<Vec<_>>>()?;
                         let ext = ExtForwardGraph::new(domains, partition.clone());
@@ -311,10 +344,15 @@ impl ScenarioData {
                         let domains = paths
                             .iter()
                             .map(|(ip, vp)| {
-                                ExtCsr::new(
-                                    NvmStore::new(FileBackend::open(ip)?, dev.clone()),
-                                    NvmStore::new(FileBackend::open(vp)?, dev.clone()),
-                                )
+                                let mut index = NvmStore::new(FileBackend::open(ip)?, dev.clone());
+                                let mut values = NvmStore::new(FileBackend::open(vp)?, dev.clone());
+                                if let Some(sums) = seal(ip)? {
+                                    index = index.with_integrity(sums);
+                                }
+                                if let Some(sums) = seal(vp)? {
+                                    values = values.with_integrity(sums);
+                                }
+                                ExtCsr::new(index, values)
                             })
                             .collect::<Result<Vec<_>>>()?;
                         let ext = ExtForwardGraph::new(domains, partition.clone());
@@ -328,16 +366,22 @@ impl ScenarioData {
                         let domains = paths
                             .iter()
                             .map(|(ip, vp)| {
-                                let index = ShardedCachedStore::new(
+                                let mut index = ShardedCachedStore::new(
                                     FileBackend::open(ip)?,
                                     dev.clone(),
                                     cache.clone(),
                                 );
-                                let values = ShardedCachedStore::new(
+                                let mut values = ShardedCachedStore::new(
                                     FileBackend::open(vp)?,
                                     dev.clone(),
                                     cache.clone(),
                                 );
+                                if let Some(sums) = seal(ip)? {
+                                    index = index.with_integrity(sums);
+                                }
+                                if let Some(sums) = seal(vp)? {
+                                    values = values.with_integrity(sums);
+                                }
                                 // Step 2 just wrote these files through the
                                 // kernel: they start in the page cache.
                                 index.warm()?;
@@ -364,14 +408,19 @@ impl ScenarioData {
                 let ip = dir.join("bg-tail.index");
                 let vp = dir.join("bg-tail.values");
                 write_csr_files(&ip, &vp, &tail_index, &tail_values)?;
-                let tail = ExtCsr::new(
-                    NvmStore::new(FileBackend::open(&ip)?, dev.clone()),
-                    NvmStore::new(FileBackend::open(&vp)?, dev.clone()),
-                )?
-                // The tail index is pinned: §VI-E's estimate concerns edge
-                // (value) traffic, and an unpinned index would double every
-                // probe's request count.
-                .with_dram_index()?;
+                let mut tail_is = NvmStore::new(FileBackend::open(&ip)?, dev.clone());
+                let mut tail_vs = NvmStore::new(FileBackend::open(&vp)?, dev.clone());
+                if let Some(sums) = seal(&ip)? {
+                    tail_is = tail_is.with_integrity(sums);
+                }
+                if let Some(sums) = seal(&vp)? {
+                    tail_vs = tail_vs.with_integrity(sums);
+                }
+                let tail = ExtCsr::new(tail_is, tail_vs)?
+                    // The tail index is pinned: §VI-E's estimate concerns edge
+                    // (value) traffic, and an unpinned index would double every
+                    // probe's request count.
+                    .with_dram_index()?;
                 BackwardStore::Split(SplitBackwardGraph::new(head, tail, partition.clone(), k))
             }
             (Some(_), None) => {
@@ -806,6 +855,59 @@ mod tests {
             data.device().unwrap().snapshot().requests > 0,
             "a thrashing cache must reach the device"
         );
+    }
+
+    #[test]
+    fn faulted_scenario_heals_to_the_fault_free_tree() {
+        let el = kron(9);
+        let base = ScenarioData::build(&el, Scenario::DramPcieFlash, small_options()).unwrap();
+        let root = select_roots(base.csr().num_vertices(), 1, 7, |v| base.degree(v))[0];
+        let expect = base
+            .run(root, &FixedPolicy(Direction::TopDown), &BfsConfig::paper())
+            .unwrap();
+
+        let mut opts = small_options();
+        // Generous retry budget: the equivalence claim is conditional on
+        // retries succeeding (see `faulted_read`); at these rates the odds
+        // of an 11-deep fault chain are negligible.
+        opts.fault_plan =
+            Some(FaultPlan::parse("seed=42,eio=0.1,corrupt=0.05,retries=10").unwrap());
+        let data = ScenarioData::build(&el, Scenario::DramPcieFlash, opts).unwrap();
+        let run = data
+            .run(root, &FixedPolicy(Direction::TopDown), &BfsConfig::paper())
+            .unwrap();
+        assert_eq!(
+            run.parent, expect.parent,
+            "healed run must be bit-identical"
+        );
+
+        let snap = data.device().unwrap().faults().unwrap().snapshot();
+        assert!(snap.eio > 0, "plan must actually inject");
+        assert!(snap.corrupt > 0);
+        assert_eq!(
+            snap.checksum_failures, snap.corrupt,
+            "every injected corruption must be caught by the page checksums"
+        );
+    }
+
+    #[test]
+    fn fault_counters_are_reproducible_across_builds() {
+        let el = kron(9);
+        let spec = "seed=7,eio=0.08,corrupt=0.04,retries=10";
+        let snap = |_: u32| {
+            let mut opts = small_options();
+            opts.fault_plan = Some(FaultPlan::parse(spec).unwrap());
+            let data = ScenarioData::build(&el, Scenario::DramSsd, opts).unwrap();
+            let root = select_roots(data.csr().num_vertices(), 1, 3, |v| data.degree(v))[0];
+            data.run(root, &FixedPolicy(Direction::TopDown), &BfsConfig::paper())
+                .unwrap();
+            let s = data.device().unwrap().faults().unwrap().snapshot();
+            (s.eio, s.corrupt, s.stall, s.retries, s.checksum_failures)
+        };
+        let a = snap(0);
+        let b = snap(1);
+        assert!(a.0 + a.1 > 0, "plan must inject");
+        assert_eq!(a, b, "same seed + same workload ⇒ same fault sequence");
     }
 
     #[test]

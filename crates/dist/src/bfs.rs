@@ -154,6 +154,7 @@ pub fn dist_hybrid_bfs(
             prev_frontier,
             frontier_edges: None,
             unvisited: n - visited_count,
+            event: None,
         });
         // Representation conversion at switches.
         match decided {

@@ -42,4 +42,4 @@ pub use json::Json;
 pub use registry::{Counter, Gauge, Metric, MetricSource, MetricValue, MetricsRegistry};
 pub use report::{build_reports, render_reports, LevelRow, RunReport, SwitchRow};
 pub use sink::{chrome_trace, parse_jsonl, read_jsonl, sample_json, write_jsonl};
-pub use tracer::{global, Dir, QueryKind, Sample, TraceEvent, Tracer};
+pub use tracer::{global, Dir, FaultKind, QueryKind, Sample, TraceEvent, Tracer};

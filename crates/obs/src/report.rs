@@ -8,7 +8,7 @@
 
 use std::fmt::Write as _;
 
-use crate::tracer::{Dir, Sample, TraceEvent};
+use crate::tracer::{Dir, FaultKind, Sample, TraceEvent};
 
 /// One reconstructed BFS level.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -112,9 +112,24 @@ pub struct RunReport {
     pub nvm_requests: u64,
     /// NVM bytes attributed to this run.
     pub nvm_bytes: u64,
+    /// Injected transient `EIO` faults attributed to this run.
+    pub faults_eio: u64,
+    /// Injected page corruptions attributed to this run.
+    pub faults_corrupt: u64,
+    /// Injected latency stalls attributed to this run.
+    pub faults_stall: u64,
+    /// Backoff retries attributed to this run.
+    pub retries: u64,
+    /// Device-degraded notifications attributed to this run.
+    pub degraded_events: u64,
 }
 
 impl RunReport {
+    /// Total injected faults of every kind attributed to this run.
+    pub fn total_faults(&self) -> u64 {
+        self.faults_eio + self.faults_corrupt + self.faults_stall
+    }
+
     /// Run MTEPS against the official TEPS edge count.
     pub fn mteps(&self) -> f64 {
         let ns = self.end_ns.saturating_sub(self.start_ns);
@@ -211,6 +226,11 @@ pub fn build_reports(samples: &[Sample]) -> Vec<RunReport> {
                 switches: Vec::new(),
                 nvm_requests: 0,
                 nvm_bytes: 0,
+                faults_eio: 0,
+                faults_corrupt: 0,
+                faults_stall: 0,
+                retries: 0,
+                degraded_events: 0,
             }),
             _ => None,
         })
@@ -228,6 +248,11 @@ pub fn build_reports(samples: &[Sample]) -> Vec<RunReport> {
             switches: Vec::new(),
             nvm_requests: 0,
             nvm_bytes: 0,
+            faults_eio: 0,
+            faults_corrupt: 0,
+            faults_stall: 0,
+            retries: 0,
+            degraded_events: 0,
         });
     }
 
@@ -245,6 +270,16 @@ pub fn build_reports(samples: &[Sample]) -> Vec<RunReport> {
         } else if let TraceEvent::NvmRead { bytes, requests } = s.event {
             report.nvm_requests += requests;
             report.nvm_bytes += bytes;
+        } else if let TraceEvent::FaultInjected { kind } = s.event {
+            match kind {
+                FaultKind::TransientEio => report.faults_eio += 1,
+                FaultKind::Corruption => report.faults_corrupt += 1,
+                FaultKind::Stall => report.faults_stall += 1,
+            }
+        } else if let TraceEvent::Retry { .. } = s.event {
+            report.retries += 1;
+        } else if let TraceEvent::Degraded { .. } = s.event {
+            report.degraded_events += 1;
         }
     }
     for r in &mut reports {
@@ -331,6 +366,13 @@ pub fn render_reports(reports: &[RunReport]) -> String {
                 "nvm: {} read submissions, {:.1} MiB",
                 r.nvm_requests,
                 r.nvm_bytes as f64 / (1 << 20) as f64
+            );
+        }
+        if r.total_faults() > 0 || r.retries > 0 || r.degraded_events > 0 {
+            let _ = writeln!(
+                out,
+                "faults: {} eio, {} corrupt, {} stall | {} retries | {} degraded",
+                r.faults_eio, r.faults_corrupt, r.faults_stall, r.retries, r.degraded_events
             );
         }
         if i + 1 < reports.len() {
@@ -427,6 +469,82 @@ mod tests {
         let reports = build_reports(&samples);
         assert_eq!(reports[0].nvm_requests, 3);
         assert_eq!(reports[0].nvm_bytes, 12288);
+    }
+
+    #[test]
+    fn fault_events_accumulate_and_render_per_run() {
+        let instant = |t: u64, event: TraceEvent| Sample {
+            start_ns: t,
+            end_ns: t,
+            tid: 0,
+            event,
+        };
+        let samples = vec![
+            run_sample(0, 1000, 7),
+            instant(
+                10,
+                TraceEvent::FaultInjected {
+                    kind: FaultKind::TransientEio,
+                },
+            ),
+            instant(
+                20,
+                TraceEvent::FaultInjected {
+                    kind: FaultKind::TransientEio,
+                },
+            ),
+            instant(
+                30,
+                TraceEvent::FaultInjected {
+                    kind: FaultKind::Corruption,
+                },
+            ),
+            instant(
+                40,
+                TraceEvent::FaultInjected {
+                    kind: FaultKind::Stall,
+                },
+            ),
+            instant(
+                50,
+                TraceEvent::Retry {
+                    attempt: 1,
+                    delay_ns: 100,
+                },
+            ),
+            instant(
+                60,
+                TraceEvent::Degraded {
+                    errors: 4,
+                    requests: 10,
+                },
+            ),
+            // Outside the run span: must not be attributed.
+            instant(
+                5000,
+                TraceEvent::FaultInjected {
+                    kind: FaultKind::Stall,
+                },
+            ),
+        ];
+        let reports = build_reports(&samples);
+        assert_eq!(reports[0].faults_eio, 2);
+        assert_eq!(reports[0].faults_corrupt, 1);
+        assert_eq!(reports[0].faults_stall, 1);
+        assert_eq!(reports[0].retries, 1);
+        assert_eq!(reports[0].degraded_events, 1);
+        assert_eq!(reports[0].total_faults(), 4);
+        let text = render_reports(&reports);
+        assert!(
+            text.contains("faults: 2 eio, 1 corrupt, 1 stall | 1 retries | 1 degraded"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn fault_free_runs_render_no_fault_line() {
+        let reports = build_reports(&[run_sample(0, 1000, 7)]);
+        assert!(!render_reports(&reports).contains("faults:"));
     }
 
     #[test]

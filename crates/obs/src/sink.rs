@@ -14,7 +14,7 @@ use std::io::Write;
 use std::path::Path;
 
 use crate::json::{Json, JsonObj};
-use crate::tracer::{Dir, QueryKind, Sample, TraceEvent};
+use crate::tracer::{Dir, FaultKind, QueryKind, Sample, TraceEvent};
 
 /// Serialize one sample as a single JSONL line (no trailing newline).
 pub fn sample_json(s: &Sample) -> String {
@@ -92,6 +92,13 @@ pub fn sample_json(s: &Sample) -> String {
             .str("kind", kind.as_str())
             .bool("cached", cached)
             .bool("ok", ok),
+        TraceEvent::FaultInjected { kind } => obj.str("kind", kind.as_str()),
+        TraceEvent::Retry { attempt, delay_ns } => {
+            obj.u64("attempt", attempt as u64).u64("delay_ns", delay_ns)
+        }
+        TraceEvent::Degraded { errors, requests } => {
+            obj.u64("errors", errors).u64("requests", requests)
+        }
     }
     .finish()
 }
@@ -216,6 +223,21 @@ fn parse_sample(v: &Json) -> Result<Option<Sample>, String> {
             cached: field_bool(v, "cached")?,
             ok: field_bool(v, "ok")?,
         },
+        "fault_injected" => TraceEvent::FaultInjected {
+            kind: v
+                .get("kind")
+                .and_then(Json::as_str)
+                .and_then(FaultKind::parse)
+                .ok_or("missing fault 'kind'")?,
+        },
+        "retry" => TraceEvent::Retry {
+            attempt: field_u64(v, "attempt")? as u32,
+            delay_ns: field_u64(v, "delay_ns")?,
+        },
+        "degraded" => TraceEvent::Degraded {
+            errors: field_u64(v, "errors")?,
+            requests: field_u64(v, "requests")?,
+        },
         _ => return Ok(None),
     };
     Ok(Some(Sample {
@@ -264,6 +286,9 @@ fn chrome_name(event: &TraceEvent) -> String {
         TraceEvent::CacheFill { .. } => "cache fill".to_string(),
         TraceEvent::CacheEvict { .. } => "cache evict".to_string(),
         TraceEvent::Query { kind, .. } => format!("query {}", kind.as_str()),
+        TraceEvent::FaultInjected { kind } => format!("fault {kind}"),
+        TraceEvent::Retry { attempt, .. } => format!("retry #{attempt}"),
+        TraceEvent::Degraded { .. } => "device degraded".to_string(),
     }
 }
 
@@ -338,6 +363,32 @@ mod tests {
                     ok: true,
                 },
             },
+            Sample {
+                start_ns: 130,
+                end_ns: 130,
+                tid: 2,
+                event: TraceEvent::FaultInjected {
+                    kind: FaultKind::TransientEio,
+                },
+            },
+            Sample {
+                start_ns: 131,
+                end_ns: 231,
+                tid: 2,
+                event: TraceEvent::Retry {
+                    attempt: 1,
+                    delay_ns: 100,
+                },
+            },
+            Sample {
+                start_ns: 400,
+                end_ns: 400,
+                tid: 0,
+                event: TraceEvent::Degraded {
+                    errors: 9,
+                    requests: 60,
+                },
+            },
         ]
     }
 
@@ -378,7 +429,7 @@ mod tests {
         let doc = chrome_trace(&samples());
         let v = Json::parse(&doc).unwrap();
         let events = v.get("traceEvents").unwrap().as_arr().unwrap();
-        assert_eq!(events.len(), 5);
+        assert_eq!(events.len(), 8);
         // The level span: ph X, µs timestamps.
         let level = events
             .iter()

@@ -103,6 +103,45 @@ impl QueryKind {
     }
 }
 
+/// Fault flavor tag for [`TraceEvent::FaultInjected`] events, mirrored
+/// from `sembfs-semext::fault` (this crate is a leaf and cannot import it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A transient `EIO`-style read failure (retryable).
+    TransientEio,
+    /// Silent page corruption (a bit flip the checksum must catch).
+    Corruption,
+    /// A latency spike / multi-millisecond stall on one request.
+    Stall,
+}
+
+impl FaultKind {
+    /// The stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::TransientEio => "eio",
+            FaultKind::Corruption => "corrupt",
+            FaultKind::Stall => "stall",
+        }
+    }
+
+    /// Parse a wire name back.
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "eio" => Some(FaultKind::TransientEio),
+            "corrupt" => Some(FaultKind::Corruption),
+            "stall" => Some(FaultKind::Stall),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The payload of one trace sample. All variants are `Copy` with
 /// fixed-size fields: emitting never allocates.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -204,6 +243,27 @@ pub enum TraceEvent {
         /// Completed without error.
         ok: bool,
     },
+    /// One injected device fault (detail event, instant).
+    FaultInjected {
+        /// Which failure mode fired.
+        kind: FaultKind,
+    },
+    /// One backoff retry of a faulted read; the span covers the backoff
+    /// wait (detail event).
+    Retry {
+        /// Retry ordinal (1 = first retry after the initial attempt).
+        attempt: u32,
+        /// Backoff delay waited before this retry, ns.
+        delay_ns: u64,
+    },
+    /// The device-health monitor crossed its degradation threshold
+    /// (instant frame event — rare, structural).
+    Degraded {
+        /// Faulted requests observed in the health window.
+        errors: u64,
+        /// Total requests observed in the health window.
+        requests: u64,
+    },
 }
 
 impl TraceEvent {
@@ -216,6 +276,8 @@ impl TraceEvent {
                 | TraceEvent::NvmRead { .. }
                 | TraceEvent::CacheFill { .. }
                 | TraceEvent::CacheEvict { .. }
+                | TraceEvent::FaultInjected { .. }
+                | TraceEvent::Retry { .. }
         )
     }
 
@@ -230,6 +292,9 @@ impl TraceEvent {
             TraceEvent::CacheFill { .. } => "cache_fill",
             TraceEvent::CacheEvict { .. } => "cache_evict",
             TraceEvent::Query { .. } => "query",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::Retry { .. } => "retry",
+            TraceEvent::Degraded { .. } => "degraded",
         }
     }
 }
@@ -575,5 +640,36 @@ mod tests {
             assert_eq!(QueryKind::parse(k.as_str()), Some(k));
         }
         assert_eq!(Dir::parse("sideways"), None);
+    }
+
+    #[test]
+    fn fault_kind_wire_names_round_trip() {
+        for k in [
+            FaultKind::TransientEio,
+            FaultKind::Corruption,
+            FaultKind::Stall,
+        ] {
+            assert_eq!(FaultKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(FaultKind::parse("gremlin"), None);
+    }
+
+    #[test]
+    fn fault_events_route_to_the_right_rings() {
+        assert!(TraceEvent::FaultInjected {
+            kind: FaultKind::Stall
+        }
+        .is_detail());
+        assert!(TraceEvent::Retry {
+            attempt: 1,
+            delay_ns: 10
+        }
+        .is_detail());
+        // Degradation is structural: an I/O flood must not evict it.
+        assert!(!TraceEvent::Degraded {
+            errors: 5,
+            requests: 100
+        }
+        .is_detail());
     }
 }

@@ -309,6 +309,21 @@ impl QueryEngine {
         &self.shared.data
     }
 
+    /// The admission bound currently in force. While the scenario's
+    /// device reports degraded health (error/stall rate past the fault
+    /// plan's `degrade` threshold), the engine sheds load: the queue
+    /// shrinks to a quarter of its configured capacity so the backlog
+    /// drains against a device that is serving slowly and erratically,
+    /// and clients see `Overloaded` early instead of queueing behind
+    /// retries.
+    pub fn effective_queue_capacity(&self) -> usize {
+        if self.shared.data.device().is_some_and(|d| d.is_degraded()) {
+            (self.queue_capacity / 4).max(1)
+        } else {
+            self.queue_capacity
+        }
+    }
+
     /// Submit a query without blocking. Result-cache hits return an
     /// already-fulfilled ticket; a full queue rejects with
     /// [`QueryError::Overloaded`] (counted in [`QueryStats::rejected`]).
@@ -338,14 +353,13 @@ impl QueryEngine {
             })));
         }
         let (ticket, inner) = QueryTicket::pending();
+        let capacity = self.effective_queue_capacity();
         {
             let mut state = self.shared.queue.lock().unwrap();
-            if state.waiting.len() >= self.queue_capacity {
+            if state.waiting.len() >= capacity {
                 drop(state);
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
-                return Err(QueryError::Overloaded {
-                    capacity: self.queue_capacity,
-                });
+                return Err(QueryError::Overloaded { capacity });
             }
             state.waiting.push_back(PendingQuery {
                 query,

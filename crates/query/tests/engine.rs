@@ -183,6 +183,61 @@ fn out_of_range_is_rejected_up_front() {
 }
 
 #[test]
+fn degraded_device_sheds_load_with_a_shrunken_queue() {
+    let el = KroneckerParams::graph500(9, 8).generate();
+    let opts = ScenarioOptions {
+        topology: Topology::new(2, 2),
+        sort_neighbors: true,
+        // A live fault plan so the device carries a health monitor; the
+        // rates themselves are irrelevant here — health is forced below.
+        fault_plan: Some(sembfs_semext::FaultPlan::parse("eio=0.01,retries=10").unwrap()),
+        ..Default::default()
+    };
+    let data = Arc::new(ScenarioData::build(&el, Scenario::DramSsd, opts).unwrap());
+    let engine = QueryEngine::new(
+        data.clone(),
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 64,
+            result_cache_entries: 0,
+        },
+    );
+    assert_eq!(engine.effective_queue_capacity(), 64);
+
+    // Drive the health monitor past the degrade threshold by hand.
+    let health = data.device().unwrap().faults().unwrap().health();
+    for _ in 0..100 {
+        health.record_request();
+        health.record_error();
+    }
+    assert!(data.device().unwrap().is_degraded());
+    assert_eq!(
+        engine.effective_queue_capacity(),
+        16,
+        "degraded health must shrink admission to a quarter"
+    );
+
+    // The shrunken bound is what rejections report.
+    let n = data.num_vertices() as u32;
+    let mut saw_shed = false;
+    for i in 0..1000u32 {
+        match engine.submit(Query::Distance {
+            src: i % n,
+            dst: (i + 1) % n,
+        }) {
+            Ok(_) => {}
+            Err(QueryError::Overloaded { capacity }) => {
+                assert_eq!(capacity, 16);
+                saw_shed = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(saw_shed, "a degraded 16-slot queue never overflowed");
+}
+
+#[test]
 fn queries_answer_on_all_three_scenarios() {
     for sc in Scenario::ALL {
         let data = build(sc);

@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 
 use crate::backend::ReadAt;
 use crate::error::Result;
+use crate::fault::{self, FaultPlan, FaultState, PageIntegrity, MAX_WEAR_FACTOR};
 use crate::iostat::{IoSnapshot, IoStats};
 
 /// Performance parameters of a (simulated) storage device.
@@ -220,6 +221,13 @@ pub struct Device {
     /// Device-busy horizon in nanoseconds since `epoch`.
     busy_until_ns: AtomicU64,
     stats: IoStats,
+    /// Fault-injection state, when the device runs under a [`FaultPlan`].
+    faults: Option<Arc<FaultState>>,
+    /// Physical bytes served since creation (wear-out input; unlike
+    /// [`IoStats`] this is never reset).
+    wear_served: AtomicU64,
+    /// Wear horizon in bytes (`plan.wear_gb`); 0 disables wear-out.
+    wear_bytes: u64,
 }
 
 impl Device {
@@ -231,7 +239,51 @@ impl Device {
             epoch: Instant::now(),
             busy_until_ns: AtomicU64::new(0),
             stats: IoStats::new(),
+            faults: None,
+            wear_served: AtomicU64::new(0),
+            wear_bytes: 0,
         })
+    }
+
+    /// Create a device that executes a [`FaultPlan`]: reads through
+    /// [`NvmStore`]s bound to it draw deterministic transient failures,
+    /// corruptions and stalls, and the device's service time degrades as
+    /// bytes are served when the plan sets a wear horizon.
+    pub fn with_fault_plan(profile: DeviceProfile, mode: DelayMode, plan: FaultPlan) -> Arc<Self> {
+        let wear_bytes = (plan.wear_gb * (1u64 << 30) as f64) as u64;
+        Arc::new(Self {
+            profile,
+            mode,
+            epoch: Instant::now(),
+            busy_until_ns: AtomicU64::new(0),
+            stats: IoStats::new(),
+            faults: Some(Arc::new(FaultState::new(plan))),
+            wear_served: AtomicU64::new(0),
+            wear_bytes,
+        })
+    }
+
+    /// The fault-injection state, when a plan is attached.
+    pub fn faults(&self) -> Option<&Arc<FaultState>> {
+        self.faults.as_ref()
+    }
+
+    /// Whether the health monitor has seen enough faults to declare the
+    /// device degraded. Always `false` without a fault plan.
+    pub fn is_degraded(&self) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.health().is_degraded())
+    }
+
+    /// Current wear-out service-time multiplier (1.0 = fresh device,
+    /// capped at [`MAX_WEAR_FACTOR`]).
+    pub fn wear_factor(&self) -> f64 {
+        if self.wear_bytes == 0 {
+            return 1.0;
+        }
+        let served = self.wear_served.load(Ordering::Relaxed) as f64;
+        1.0 + (served / self.wear_bytes as f64).min(MAX_WEAR_FACTOR - 1.0)
     }
 
     /// A free device that only counts requests.
@@ -292,6 +344,43 @@ impl Device {
                 Metric::gauge("sembfs_device_avgrq_sz", labels, snap.avgrq_sz()),
             ]
         }));
+        if self.faults.is_some() {
+            let dev = Arc::clone(self);
+            registry.register_source(Box::new(move || {
+                let faults = dev.faults.as_ref().expect("registered with faults");
+                let snap = faults.snapshot();
+                let labels: &[(&str, &str)] = &[("device", name)];
+                vec![
+                    Metric::counter(
+                        "sembfs_device_faults_total",
+                        &[("device", name), ("kind", "eio")],
+                        snap.eio as f64,
+                    ),
+                    Metric::counter(
+                        "sembfs_device_faults_total",
+                        &[("device", name), ("kind", "corrupt")],
+                        snap.corrupt as f64,
+                    ),
+                    Metric::counter(
+                        "sembfs_device_faults_total",
+                        &[("device", name), ("kind", "stall")],
+                        snap.stall as f64,
+                    ),
+                    Metric::counter("sembfs_device_retries_total", labels, snap.retries as f64),
+                    Metric::counter(
+                        "sembfs_device_checksum_failures_total",
+                        labels,
+                        snap.checksum_failures as f64,
+                    ),
+                    Metric::gauge(
+                        "sembfs_device_degraded",
+                        labels,
+                        if dev.is_degraded() { 1.0 } else { 0.0 },
+                    ),
+                    Metric::gauge("sembfs_device_wear_factor", labels, dev.wear_factor()),
+                ]
+            }));
+        }
     }
 
     /// Emit an NVM-read span on the global tracer, translating this
@@ -327,7 +416,7 @@ impl Device {
     /// Returns the modeled completion time on the device clock.
     pub fn read_request(&self, bytes: u64) -> u64 {
         let arrival = self.now_ns();
-        let service = self.profile.service_ns(bytes);
+        let service = self.worn_service_ns(bytes);
 
         // Reserve `service` ns on the FIFO timeline.
         let mut prev = self.busy_until_ns.load(Ordering::Relaxed);
@@ -365,8 +454,65 @@ impl Device {
             service,
             queue_ahead,
         );
+        self.record_wear(self.profile.physical_bytes(bytes));
         self.trace_read(arrival, completion, self.profile.physical_bytes(bytes), 1);
         completion
+    }
+
+    /// Service time with the current wear-out multiplier applied.
+    fn worn_service_ns(&self, bytes: u64) -> u64 {
+        let service = self.profile.service_ns(bytes);
+        if self.wear_bytes == 0 {
+            service
+        } else {
+            (service as f64 * self.wear_factor()) as u64
+        }
+    }
+
+    fn record_wear(&self, physical_bytes: u64) {
+        if self.wear_bytes != 0 {
+            self.wear_served
+                .fetch_add(physical_bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Occupy the device for an injected latency stall: `stall` extra
+    /// nanoseconds are reserved on the busy timeline (so concurrent
+    /// readers queue behind the stall, exactly like a real firmware
+    /// hiccup) and, when throttled, the caller waits them out. Returns
+    /// the stall's end on the device clock.
+    pub fn apply_stall(&self, stall: Duration) -> u64 {
+        let ns = stall.as_nanos() as u64;
+        let arrival = self.now_ns();
+        let mut prev = self.busy_until_ns.load(Ordering::Relaxed);
+        let end = loop {
+            let begin = prev.max(arrival);
+            let end = begin + ns;
+            match self.busy_until_ns.compare_exchange_weak(
+                prev,
+                end,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break end,
+                Err(cur) => prev = cur,
+            }
+        };
+        if self.mode == DelayMode::Throttled && end > arrival {
+            self.wait_until(end);
+        }
+        end
+    }
+
+    /// Wait out a retry-backoff delay on the device clock: a real wait in
+    /// [`DelayMode::Throttled`], a no-op in [`DelayMode::Accounting`]
+    /// (functional tests must not sleep). Unlike [`Self::apply_stall`]
+    /// the device is *not* occupied — backing off frees it for others.
+    pub fn wait_backoff(&self, delay: Duration) {
+        if self.mode == DelayMode::Throttled && !delay.is_zero() {
+            let deadline = self.now_ns() + delay.as_nanos() as u64;
+            self.wait_until(deadline);
+        }
     }
 
     /// Model an **asynchronous batch submission** (the `libaio`-style
@@ -380,7 +526,7 @@ impl Device {
             return self.now_ns();
         }
         let arrival = self.now_ns();
-        let total_service: u64 = sizes.iter().map(|&b| self.profile.service_ns(b)).sum();
+        let total_service: u64 = sizes.iter().map(|&b| self.worn_service_ns(b)).sum();
 
         // Reserve the whole batch contiguously on the FIFO timeline.
         let mut prev = self.busy_until_ns.load(Ordering::Relaxed);
@@ -410,7 +556,7 @@ impl Device {
         let mut cursor = begin;
         let backlog = begin.saturating_sub(arrival);
         for &bytes in sizes {
-            let service = self.profile.service_ns(bytes);
+            let service = self.worn_service_ns(bytes);
             cursor += service;
             let req_completion = cursor.max(arrival + latency_ns);
             let queue_ahead = backlog.checked_div(service.max(1)).unwrap_or(0);
@@ -423,6 +569,7 @@ impl Device {
             );
         }
         let physical: u64 = sizes.iter().map(|&b| self.profile.physical_bytes(b)).sum();
+        self.record_wear(physical);
         self.trace_read(arrival, completion, physical, sizes.len() as u64);
         completion
     }
@@ -451,16 +598,40 @@ impl Device {
 
 /// A storage backend bound to a [`Device`]: every read is metered (and in
 /// throttled mode, delayed) by the device model.
+///
+/// When the device carries a [`FaultPlan`] with active per-read fault
+/// rates, reads go through the resilient path ([`fault::faulted_read`]):
+/// faults are drawn deterministically, page checksums (when sealed via
+/// [`Self::with_integrity`]) are verified, and transient failures retry
+/// under capped backoff before surfacing as typed errors.
 #[derive(Debug)]
 pub struct NvmStore<B> {
     backend: B,
     device: Arc<Device>,
+    integrity: Option<Arc<PageIntegrity>>,
 }
 
 impl<B: ReadAt> NvmStore<B> {
     /// Bind `backend` to `device`.
     pub fn new(backend: B, device: Arc<Device>) -> Self {
-        Self { backend, device }
+        Self {
+            backend,
+            device,
+            integrity: None,
+        }
+    }
+
+    /// Attach per-page checksums sealed at build time; the fault path
+    /// verifies every read against them and a torn page surfaces as
+    /// [`crate::Error::ChecksumMismatch`] instead of bad data.
+    pub fn with_integrity(mut self, integrity: Arc<PageIntegrity>) -> Self {
+        self.integrity = Some(integrity);
+        self
+    }
+
+    /// The sealed page checksums, when attached.
+    pub fn integrity(&self) -> Option<&Arc<PageIntegrity>> {
+        self.integrity.as_ref()
     }
 
     /// The device this store is bound to.
@@ -472,11 +643,29 @@ impl<B: ReadAt> NvmStore<B> {
     pub fn backend(&self) -> &B {
         &self.backend
     }
+
+    /// The fault state to route reads through, if any fault can fire.
+    fn active_faults(&self) -> Option<&Arc<FaultState>> {
+        self.device.faults().filter(|f| f.plan().has_read_faults())
+    }
 }
 
 impl<B: ReadAt> ReadAt for NvmStore<B> {
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
-        self.backend.read_at(offset, buf)?;
+        if let Some(state) = self.active_faults() {
+            return fault::faulted_read(
+                &self.backend,
+                &self.device,
+                self.integrity.as_deref(),
+                state,
+                offset,
+                buf,
+            );
+        }
+        match &self.integrity {
+            Some(integrity) => fault::verified_read(&self.backend, integrity, offset, buf)?,
+            None => self.backend.read_at(offset, buf)?,
+        }
         self.device.read_request(buf.len() as u64);
         Ok(())
     }
@@ -486,8 +675,28 @@ impl<B: ReadAt> ReadAt for NvmStore<B> {
     }
 
     fn read_batch_at(&self, reqs: &mut [crate::backend::BatchRead<'_>]) -> Result<()> {
+        if let Some(state) = self.active_faults() {
+            // Under fault injection each member of the batch is served
+            // (and retried) individually: a failed member of an async
+            // batch forces its own resubmission, so the latency-once
+            // batching optimisation does not apply.
+            for r in reqs.iter_mut() {
+                fault::faulted_read(
+                    &self.backend,
+                    &self.device,
+                    self.integrity.as_deref(),
+                    state,
+                    r.offset,
+                    r.buf,
+                )?;
+            }
+            return Ok(());
+        }
         for r in reqs.iter_mut() {
-            self.backend.read_at(r.offset, r.buf)?;
+            match &self.integrity {
+                Some(integrity) => fault::verified_read(&self.backend, integrity, r.offset, r.buf)?,
+                None => self.backend.read_at(r.offset, r.buf)?,
+            }
         }
         let sizes: Vec<u64> = reqs.iter().map(|r| r.buf.len() as u64).collect();
         self.device.read_batch(&sizes);
@@ -499,6 +708,7 @@ impl<B: ReadAt> ReadAt for NvmStore<B> {
 mod tests {
     use super::*;
     use crate::backend::DramBackend;
+    use crate::fault::FaultSnapshot;
 
     #[test]
     fn service_time_is_max_of_components() {
@@ -735,6 +945,218 @@ mod tests {
         assert_eq!(p.physical_bytes(4096), 4096);
         assert_eq!(p.physical_bytes(4097), 8192);
         assert_eq!(DeviceProfile::dram().physical_bytes(17), 17);
+    }
+
+    #[test]
+    fn fault_free_plan_reads_exactly_like_no_plan() {
+        let data: Vec<u8> = (0..255u8).cycle().take(8192).collect();
+        let dev = Device::with_fault_plan(
+            DeviceProfile::iodrive2(),
+            DelayMode::Accounting,
+            FaultPlan::default(),
+        );
+        assert!(dev.faults().is_some());
+        assert!(!dev.is_degraded());
+        let store = NvmStore::new(DramBackend::new(data.clone()), dev.clone());
+        let mut buf = vec![0u8; 1000];
+        store.read_at(100, &mut buf).unwrap();
+        assert_eq!(&buf[..], &data[100..1100]);
+        // Zero rates take the fast path: one request, no fault counters.
+        assert_eq!(dev.snapshot().requests, 1);
+        assert_eq!(dev.faults().unwrap().snapshot(), FaultSnapshot::default());
+    }
+
+    #[test]
+    fn transient_eio_heals_under_retry() {
+        let data: Vec<u8> = (0..255u8).cycle().take(64 * 4096).collect();
+        let plan = FaultPlan::parse("seed=3,eio=0.3").unwrap();
+        let dev = Device::with_fault_plan(DeviceProfile::dram(), DelayMode::Accounting, plan);
+        let store = NvmStore::new(DramBackend::new(data.clone()), dev.clone());
+        let mut buf = vec![0u8; 256];
+        // At 30% EIO with 6 retries every read converges; data stays right.
+        for i in 0..200u64 {
+            let off = (i * 997) % (data.len() as u64 - 256);
+            store.read_at(off, &mut buf).unwrap();
+            assert_eq!(&buf[..], &data[off as usize..off as usize + 256]);
+        }
+        let snap = dev.faults().unwrap().snapshot();
+        assert!(
+            snap.eio > 20,
+            "expected many injected EIOs, got {}",
+            snap.eio
+        );
+        assert!(snap.retries >= snap.eio);
+        // Failed attempts were charged to the device.
+        assert_eq!(dev.snapshot().requests, 200 + snap.eio);
+    }
+
+    #[test]
+    fn certain_eio_exhausts_with_typed_error() {
+        let plan = FaultPlan::parse("seed=1,eio=1,retries=3").unwrap();
+        let dev = Device::with_fault_plan(DeviceProfile::dram(), DelayMode::Accounting, plan);
+        let store = NvmStore::new(DramBackend::new(vec![0u8; 4096]), dev.clone());
+        let mut buf = [0u8; 64];
+        match store.read_at(0, &mut buf) {
+            Err(crate::Error::RetriesExhausted { attempts, last }) => {
+                assert_eq!(attempts, 4); // initial try + 3 retries
+                assert_eq!(last, std::io::ErrorKind::Interrupted);
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_reads_verify_integrity_without_a_fault_plan() {
+        let mut data: Vec<u8> = (0..255u8).cycle().take(3 * 4096).collect();
+        let integrity = Arc::new(PageIntegrity::seal_bytes(&data));
+        data[4096 + 904] ^= 0x20; // torn after sealing, page 1
+        let dev = Device::unmetered();
+        let store = NvmStore::new(DramBackend::new(data.clone()), dev).with_integrity(integrity);
+        let mut buf = [0u8; 64];
+        // A read whose enclosing span touches the torn page is rejected…
+        match store.read_at(4096 - 10, &mut buf) {
+            Err(crate::Error::ChecksumMismatch { page: 1, .. }) => {}
+            other => panic!("expected ChecksumMismatch on page 1, got {other:?}"),
+        }
+        // …and untouched pages are still served, byte-exact.
+        store.read_at(100, &mut buf).unwrap();
+        assert_eq!(&buf[..], &data[100..164]);
+    }
+
+    #[test]
+    fn corruption_with_integrity_heals_without_is_silent() {
+        let data: Vec<u8> = (0..255u8).cycle().take(16 * 4096).collect();
+        let plan = FaultPlan::parse("seed=5,corrupt=0.4").unwrap();
+
+        // With sealed checksums: every read verified, corruption healed.
+        let dev = Device::with_fault_plan(DeviceProfile::dram(), DelayMode::Accounting, plan);
+        let integrity = Arc::new(PageIntegrity::seal_bytes(&data));
+        let store =
+            NvmStore::new(DramBackend::new(data.clone()), dev.clone()).with_integrity(integrity);
+        let mut buf = vec![0u8; 100];
+        for i in 0..100u64 {
+            let off = (i * 601) % (data.len() as u64 - 100);
+            store.read_at(off, &mut buf).unwrap();
+            assert_eq!(&buf[..], &data[off as usize..off as usize + 100]);
+        }
+        let snap = dev.faults().unwrap().snapshot();
+        assert!(snap.corrupt > 10);
+        assert_eq!(snap.checksum_failures, snap.corrupt);
+
+        // Without checksums the same plan silently corrupts some reads.
+        let plan = FaultPlan::parse("seed=5,corrupt=0.4").unwrap();
+        let dev = Device::with_fault_plan(DeviceProfile::dram(), DelayMode::Accounting, plan);
+        let store = NvmStore::new(DramBackend::new(data.clone()), dev.clone());
+        let mut wrong = 0;
+        for i in 0..100u64 {
+            let off = (i * 601) % (data.len() as u64 - 100);
+            store.read_at(off, &mut buf).unwrap();
+            if buf != data[off as usize..off as usize + 100] {
+                wrong += 1;
+            }
+        }
+        assert!(wrong > 0, "silent corruption should have hit some reads");
+    }
+
+    #[test]
+    fn batch_reads_survive_faults() {
+        use crate::backend::BatchRead;
+        let data: Vec<u8> = (0..4096u32).flat_map(|i| i.to_le_bytes()).collect();
+        let plan = FaultPlan::parse("seed=2,eio=0.3").unwrap();
+        let dev = Device::with_fault_plan(DeviceProfile::dram(), DelayMode::Accounting, plan);
+        let store = NvmStore::new(DramBackend::new(data.clone()), dev.clone());
+        let mut b1 = [0u8; 8];
+        let mut b2 = [0u8; 16];
+        let mut reqs = [
+            BatchRead {
+                offset: 0,
+                buf: &mut b1,
+            },
+            BatchRead {
+                offset: 100,
+                buf: &mut b2,
+            },
+        ];
+        store.read_batch_at(&mut reqs).unwrap();
+        assert_eq!(&b1[..], &data[0..8]);
+        assert_eq!(&b2[..], &data[100..116]);
+    }
+
+    #[test]
+    fn identical_plans_inject_identical_fault_sequences() {
+        let run = || {
+            let data: Vec<u8> = vec![7u8; 256 * 4096];
+            let plan = FaultPlan::parse("seed=9,eio=0.1,corrupt=0.05,stall=0.05").unwrap();
+            let dev = Device::with_fault_plan(DeviceProfile::dram(), DelayMode::Accounting, plan);
+            let integrity = Arc::new(PageIntegrity::seal_bytes(&data));
+            let store =
+                NvmStore::new(DramBackend::new(data), dev.clone()).with_integrity(integrity);
+            let mut buf = [0u8; 512];
+            for i in 0..500u64 {
+                let off = (i * 37) % (256 * 4096 - 512);
+                store.read_at(off, &mut buf).unwrap();
+            }
+            dev.faults().unwrap().snapshot()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.total() > 20);
+    }
+
+    #[test]
+    fn stall_occupies_the_device_timeline() {
+        let plan = FaultPlan::parse("seed=1,stall=1,stall_us=500").unwrap();
+        let dev = Device::with_fault_plan(DeviceProfile::dram(), DelayMode::Accounting, plan);
+        let store = NvmStore::new(DramBackend::new(vec![0u8; 4096]), dev.clone());
+        let before = dev.busy_until_ns.load(Ordering::Relaxed);
+        let mut buf = [0u8; 64];
+        store.read_at(0, &mut buf).unwrap();
+        let after = dev.busy_until_ns.load(Ordering::Relaxed);
+        assert!(
+            after - before >= 500_000,
+            "stall must reserve its duration on the busy horizon"
+        );
+        assert_eq!(dev.faults().unwrap().snapshot().stall, 1);
+    }
+
+    #[test]
+    fn wear_out_degrades_service_up_to_the_cap() {
+        // 1 MiB horizon so a few reads wear the device measurably.
+        let plan = FaultPlan {
+            wear_gb: 1.0 / 1024.0,
+            ..Default::default()
+        };
+        let dev =
+            Device::with_fault_plan(DeviceProfile::intel_ssd_320(), DelayMode::Accounting, plan);
+        assert_eq!(dev.wear_factor(), 1.0);
+        let fresh = DeviceProfile::intel_ssd_320().service_ns(4096);
+        let before = dev.snapshot();
+        dev.read_request(4096);
+        let d0 = dev.snapshot().delta(&before);
+        assert_eq!(d0.service_ns, fresh, "fresh device serves at profile speed");
+        // Serve 4 MiB: wear factor hits the 4× cap.
+        for _ in 0..1024 {
+            dev.read_request(4096);
+        }
+        assert_eq!(dev.wear_factor(), MAX_WEAR_FACTOR);
+        let before = dev.snapshot();
+        dev.read_request(4096);
+        let d1 = dev.snapshot().delta(&before);
+        assert_eq!(d1.service_ns, (fresh as f64 * MAX_WEAR_FACTOR) as u64);
+    }
+
+    #[test]
+    fn health_degrades_device_under_sustained_faults() {
+        let plan = FaultPlan::parse("seed=4,eio=0.5,degrade=0.2").unwrap();
+        let dev = Device::with_fault_plan(DeviceProfile::dram(), DelayMode::Accounting, plan);
+        let store = NvmStore::new(DramBackend::new(vec![0u8; 1 << 20]), dev.clone());
+        assert!(!dev.is_degraded());
+        let mut buf = [0u8; 64];
+        for i in 0..200u64 {
+            let _ = store.read_at(i * 4096, &mut buf);
+        }
+        assert!(dev.is_degraded());
     }
 
     #[test]

@@ -6,7 +6,12 @@ use std::fmt;
 pub type Result<T> = std::result::Result<T, Error>;
 
 /// Errors raised by the storage layer.
+///
+/// Marked `#[non_exhaustive]`: the resilient read path grows failure
+/// modes (checksums, retry exhaustion) without breaking downstream
+/// matches.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum Error {
     /// An underlying I/O operation failed.
     Io(std::io::Error),
@@ -21,6 +26,23 @@ pub enum Error {
     },
     /// A file's size is inconsistent with its expected layout.
     Corrupt(String),
+    /// A page read back from storage does not match its sealed checksum
+    /// (a torn or silently corrupted page the retry path could not heal).
+    ChecksumMismatch {
+        /// 4 KiB page index within the store.
+        page: u64,
+        /// Checksum sealed at build time.
+        expected: u64,
+        /// Checksum of the bytes actually read.
+        actual: u64,
+    },
+    /// A transiently failing read did not recover within the retry budget.
+    RetriesExhausted {
+        /// Attempts made (initial try + retries).
+        attempts: u32,
+        /// Kind of the last underlying I/O failure.
+        last: std::io::ErrorKind,
+    },
 }
 
 impl fmt::Display for Error {
@@ -32,6 +54,18 @@ impl fmt::Display for Error {
                 "read out of bounds: offset {offset} + len {len} > size {size}"
             ),
             Error::Corrupt(msg) => write!(f, "corrupt external data: {msg}"),
+            Error::ChecksumMismatch {
+                page,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch on page {page}: expected {expected:#018x}, got {actual:#018x}"
+            ),
+            Error::RetriesExhausted { attempts, last } => write!(
+                f,
+                "read failed after {attempts} attempts (last error: {last:?})"
+            ),
         }
     }
 }
@@ -78,5 +112,32 @@ mod tests {
     fn corrupt_displays_message() {
         let e = Error::Corrupt("index truncated".into());
         assert!(e.to_string().contains("index truncated"));
+    }
+
+    #[test]
+    fn checksum_mismatch_displays_page_and_sums() {
+        let e = Error::ChecksumMismatch {
+            page: 42,
+            expected: 0xdead_beef,
+            actual: 0xfeed_face,
+        };
+        let s = e.to_string();
+        assert!(s.contains("page 42"), "{s}");
+        assert!(s.contains("0x00000000deadbeef"), "{s}");
+        assert!(s.contains("0x00000000feedface"), "{s}");
+        // Not a wrapped error: no source.
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn retries_exhausted_displays_attempts_and_kind() {
+        let e = Error::RetriesExhausted {
+            attempts: 7,
+            last: std::io::ErrorKind::Interrupted,
+        };
+        let s = e.to_string();
+        assert!(s.contains("7 attempts"), "{s}");
+        assert!(s.contains("Interrupted"), "{s}");
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

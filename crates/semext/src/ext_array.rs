@@ -133,6 +133,30 @@ impl<T: LeBytes, R: ReadAt> ExtArray<T, R> {
     pub fn store(&self) -> &R {
         &self.store
     }
+
+    /// Scrub the whole array against sealed page checksums: every page is
+    /// read back through the store and verified. Returns the first
+    /// [`Error::ChecksumMismatch`] found. Reads are charged to the
+    /// store's device like any other access — a scrub is real I/O.
+    pub fn verify_integrity(&self, integrity: &crate::fault::PageIntegrity) -> Result<()> {
+        use crate::cache::PAGE_BYTES;
+        let bytes = self.len * T::SIZE as u64;
+        if bytes != integrity.len() {
+            return Err(Error::Corrupt(format!(
+                "integrity sealed over {} bytes but array holds {bytes}",
+                integrity.len()
+            )));
+        }
+        let mut buf = vec![0u8; PAGE_BYTES as usize];
+        let mut off = 0u64;
+        while off < bytes {
+            let take = (bytes - off).min(PAGE_BYTES) as usize;
+            self.store.read_at(off, &mut buf[..take])?;
+            integrity.verify(off / PAGE_BYTES, &buf[..take])?;
+            off += take as u64;
+        }
+        Ok(())
+    }
 }
 
 /// Decode a byte buffer into elements of `T`, appending to `out`.
@@ -232,6 +256,34 @@ mod tests {
         let items: Vec<i64> = (-500..500).collect();
         let arr = dram_of(&items);
         assert_eq!(arr.read_all().unwrap(), items);
+    }
+
+    #[test]
+    fn verify_integrity_scrubs_and_reports_torn_pages() {
+        use crate::fault::PageIntegrity;
+        let items: Vec<u64> = (0..2000).map(|i| i * 31 + 7).collect();
+        let mut bytes = vec![0u8; items.len() * 8];
+        for (i, item) in items.iter().enumerate() {
+            item.write_le(&mut bytes[i * 8..(i + 1) * 8]);
+        }
+        let integrity = PageIntegrity::seal_bytes(&bytes);
+        let arr = ExtArray::<u64, _>::new(DramBackend::new(bytes.clone())).unwrap();
+        arr.verify_integrity(&integrity).unwrap();
+
+        // Tear a byte on page 2: the scrub reports that page.
+        bytes[2 * 4096 + 5] ^= 0x80;
+        let torn = ExtArray::<u64, _>::new(DramBackend::new(bytes)).unwrap();
+        match torn.verify_integrity(&integrity) {
+            Err(Error::ChecksumMismatch { page, .. }) => assert_eq!(page, 2),
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+
+        // Length mismatch is a structural error, not a checksum one.
+        let short = ExtArray::<u64, _>::new(DramBackend::new(vec![0u8; 8])).unwrap();
+        assert!(matches!(
+            short.verify_integrity(&integrity),
+            Err(Error::Corrupt(_))
+        ));
     }
 
     #[test]

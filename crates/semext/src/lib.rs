@@ -35,6 +35,7 @@ pub mod device;
 pub mod error;
 pub mod ext_array;
 pub mod ext_csr;
+pub mod fault;
 pub mod iostat;
 pub mod shard_cache;
 pub mod striped;
@@ -47,6 +48,10 @@ pub use device::{DelayMode, Device, DeviceProfile, NvmStore};
 pub use error::{Error, Result};
 pub use ext_array::ExtArray;
 pub use ext_csr::{ExtCsr, NeighborBatch};
+pub use fault::{
+    retry_blocking, Backoff, DeviceHealth, FaultKind, FaultPlan, FaultSnapshot, FaultState,
+    PageIntegrity, RetryPolicy,
+};
 pub use iostat::{CacheSnapshot, IoSnapshot, IoStats};
 pub use shard_cache::{PagePin, ShardedCachedStore, ShardedPageCache};
 pub use striped::StripedStore;

@@ -31,6 +31,7 @@ use crate::cache::PAGE_BYTES;
 use crate::chunked::ChunkedReader;
 use crate::device::Device;
 use crate::error::Result;
+use crate::fault::{self, PageIntegrity};
 use crate::iostat::CacheSnapshot;
 
 /// Default shard count: enough stripes that a handful of BFS workers
@@ -461,6 +462,9 @@ pub struct ShardedCachedStore<B> {
     file_id: u32,
     /// First page past the previous demand read (sequential detector).
     last_end_page: AtomicU64,
+    /// Sealed per-page checksums; every fill is verified against them, so
+    /// a torn or corrupted page can never enter the cache as valid data.
+    integrity: Option<Arc<PageIntegrity>>,
 }
 
 impl<B: ReadAt> ShardedCachedStore<B> {
@@ -486,7 +490,22 @@ impl<B: ReadAt> ShardedCachedStore<B> {
             reader,
             file_id,
             last_end_page: AtomicU64::new(u64::MAX),
+            integrity: None,
         }
+    }
+
+    /// Attach per-page checksums sealed at build time. Every cache fill
+    /// (demand miss, readahead, warm) is verified before the pages become
+    /// servable; a mismatch surfaces as
+    /// [`crate::Error::ChecksumMismatch`] and the pages are not admitted.
+    pub fn with_integrity(mut self, integrity: Arc<PageIntegrity>) -> Self {
+        self.integrity = Some(integrity);
+        self
+    }
+
+    /// The sealed page checksums, when attached.
+    pub fn integrity(&self) -> Option<&Arc<PageIntegrity>> {
+        self.integrity.as_ref()
     }
 
     /// The shared cache.
@@ -524,6 +543,41 @@ impl<B: ReadAt> ShardedCachedStore<B> {
         }
     }
 
+    /// Read the page-aligned span starting at `span_start` from the
+    /// backend into `scratch`, charging the device when `charge` is set
+    /// and verifying sealed checksums when integrity is attached.
+    ///
+    /// Charged reads on a device with active fault rates go through the
+    /// resilient path ([`fault::faulted_read`]): faults are drawn,
+    /// verified-bad attempts retry under backoff, and exhaustion surfaces
+    /// typed errors. Charge-free reads ([`Self::warm`]) model pages left
+    /// behind in DRAM by the offload writer — no device access, no
+    /// faults — but are still verified.
+    fn read_span(&self, span_start: u64, scratch: &mut [u8], charge: bool) -> Result<()> {
+        if charge {
+            if let Some(state) = self.device.faults().filter(|f| f.plan().has_read_faults()) {
+                // The fault path charges the device once per attempt; the
+                // merge-limit split does not apply to retried reads.
+                return fault::faulted_read(
+                    &self.backend,
+                    &self.device,
+                    self.integrity.as_deref(),
+                    state,
+                    span_start,
+                    scratch,
+                );
+            }
+        }
+        self.backend.read_at(span_start, scratch)?;
+        if charge {
+            self.charge(scratch.len() as u64);
+        }
+        if let Some(integrity) = &self.integrity {
+            integrity.verify_span(span_start / PAGE_BYTES, scratch)?;
+        }
+        Ok(())
+    }
+
     /// Load pages `[first, last_excl)` that are not yet cached, reading
     /// the backend in contiguous reserved runs. `charge` meters the device;
     /// `readahead` counts the loads in the readahead statistic.
@@ -551,10 +605,7 @@ impl<B: ReadAt> ShardedCachedStore<B> {
             let span_end = (run_start + pins.len() as u64) * PAGE_BYTES;
             let span_end = span_end.min(size);
             let mut scratch = vec![0u8; (span_end - span_start) as usize];
-            self.backend.read_at(span_start, &mut scratch)?;
-            if charge {
-                self.charge(span_end - span_start);
-            }
+            self.read_span(span_start, &mut scratch, charge)?;
             if readahead {
                 self.cache
                     .note_readahead(self.file_id, run_start, pins.len() as u64);
@@ -582,8 +633,7 @@ impl<B: ReadAt> ShardedCachedStore<B> {
         let span_start = run_start * PAGE_BYTES;
         let span_end = (run_end_excl * PAGE_BYTES).min(size);
         let mut scratch = vec![0u8; (span_end - span_start) as usize];
-        self.backend.read_at(span_start, &mut scratch)?;
-        self.charge(span_end - span_start);
+        self.read_span(span_start, &mut scratch, true)?;
 
         let copy_start = offset.max(span_start);
         let copy_end = (offset + buf.len() as u64).min(span_end);
@@ -994,6 +1044,69 @@ mod tests {
         // Past-EOF prefetches are clipped, not errors.
         store.prefetch(15 * PAGE_BYTES, 64 * PAGE_BYTES).unwrap();
         store.prefetch(1 << 40, 8).unwrap();
+    }
+
+    #[test]
+    fn torn_page_is_rejected_at_fill_never_served() {
+        // Seal checksums over good data, then tear one page behind the
+        // store's back: every read touching it must report the mismatch,
+        // and the cache must never serve the torn bytes as valid.
+        let good = patterned(8);
+        let integrity = Arc::new(PageIntegrity::seal_bytes(&good));
+        let mut torn = good.clone();
+        torn[3 * PAGE_BYTES as usize + 99] ^= 0x01;
+        let cache = ShardedPageCache::with_shards(16 * PAGE_BYTES, 4);
+        let store = ShardedCachedStore::new(DramBackend::new(torn), dev(), cache.clone())
+            .with_integrity(integrity);
+
+        // Intact pages read fine.
+        let mut buf = vec![0u8; 64];
+        store.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf[..], &good[..64]);
+
+        // The torn page errors with its index, on cold and repeat reads.
+        for _ in 0..2 {
+            match store.read_at(3 * PAGE_BYTES + 50, &mut buf) {
+                Err(crate::Error::ChecksumMismatch { page, .. }) => assert_eq!(page, 3),
+                other => panic!("expected ChecksumMismatch, got {other:?}"),
+            }
+        }
+        // warm() trips over it too.
+        assert!(matches!(
+            store.warm(),
+            Err(crate::Error::ChecksumMismatch { page: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn faulted_cached_store_heals_and_stays_byte_identical() {
+        use crate::fault::FaultPlan;
+        use crate::DeviceProfile;
+
+        let data = patterned(32);
+        // 30% combined fault rate: with 10 retries a chain of all-faulted
+        // draws (0.3^11 ≈ 2e-6 per read) never exhausts in this test.
+        let plan = FaultPlan::parse("seed=6,eio=0.2,corrupt=0.1,retries=10").unwrap();
+        let device =
+            Device::with_fault_plan(DeviceProfile::iodrive2(), DelayMode::Accounting, plan);
+        let integrity = Arc::new(PageIntegrity::seal_bytes(&data));
+        let cache = ShardedPageCache::with_shards(8 * PAGE_BYTES, 4); // undersized: refills
+        let store = ShardedCachedStore::new(DramBackend::new(data.clone()), device.clone(), cache)
+            .with_integrity(integrity);
+
+        let mut buf = vec![0u8; 600];
+        for i in 0..300u64 {
+            let off = (i * 4099) % (data.len() as u64 - 600);
+            store.read_at(off, &mut buf).unwrap();
+            assert_eq!(
+                &buf[..],
+                &data[off as usize..off as usize + 600],
+                "off {off}"
+            );
+        }
+        let snap = device.faults().unwrap().snapshot();
+        assert!(snap.total() > 10, "faults fired: {snap:?}");
+        assert_eq!(snap.checksum_failures, snap.corrupt);
     }
 
     #[test]

@@ -11,6 +11,23 @@
 use std::sync::Arc;
 
 use sembfs::prelude::*;
+use sembfs::semext::{retry_blocking, RetryPolicy};
+
+/// Submit through the shared capped-backoff helper: a momentarily full
+/// queue (`Overloaded`) is retried with jittered exponential backoff
+/// instead of failing the example outright.
+fn run_with_backoff(
+    engine: &QueryEngine,
+    query: Query,
+    seed: u64,
+) -> Result<sembfs::query::Response, QueryError> {
+    retry_blocking(
+        RetryPolicy::default(),
+        seed,
+        |e| matches!(e, QueryError::Overloaded { .. }),
+        || engine.run(query),
+    )
+}
 
 fn main() {
     let scale = 14;
@@ -39,8 +56,7 @@ fn main() {
         let picks = select_roots(params.num_vertices(), 6, 7, |v| data.degree(v));
         for pair in picks.chunks(2) {
             let (src, dst) = (pair[0], pair[1]);
-            let resp = engine
-                .run(Query::ShortestPath { src, dst })
+            let resp = run_with_backoff(&engine, Query::ShortestPath { src, dst }, src as u64)
                 .expect("path query");
             match resp.result {
                 QueryResult::Path { distance, vertices } => {
@@ -57,17 +73,20 @@ fn main() {
                 QueryResult::NoPath => println!("  path {src} → {dst}: unreachable"),
                 other => unreachable!("{other:?}"),
             }
-            let resp = engine
-                .run(Query::Reachable { src: dst, dst: src })
-                .expect("reachability query");
+            let resp =
+                run_with_backoff(&engine, Query::Reachable { src: dst, dst: src }, dst as u64)
+                    .expect("reachability query");
             println!("  reachable {dst} → {src}: {:?}", resp.result);
         }
-        let resp = engine
-            .run(Query::Neighborhood {
+        let resp = run_with_backoff(
+            &engine,
+            Query::Neighborhood {
                 v: picks[0],
                 depth: 3,
-            })
-            .expect("neighborhood query");
+            },
+            0,
+        )
+        .expect("neighborhood query");
         if let QueryResult::Neighborhood { counts } = resp.result {
             println!("  neighborhood of {}: ring sizes {counts:?}", picks[0]);
         }

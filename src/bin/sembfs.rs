@@ -57,6 +57,36 @@ fn scenario_of(flags: &HashMap<String, String>) -> Scenario {
     }
 }
 
+/// `--faults seed=1,eio=0.01,...` → a validated plan (exits on a bad spec).
+fn fault_plan_of(flags: &HashMap<String, String>) -> Option<sembfs::semext::FaultPlan> {
+    let spec = flags.get("faults").filter(|s| !s.is_empty())?;
+    match sembfs::semext::FaultPlan::parse(spec) {
+        Ok(plan) => Some(plan),
+        Err(e) => {
+            eprintln!("bad --faults spec: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// One-line fault/resilience summary when the scenario's device carries a
+/// fault plan.
+fn print_fault_summary(data: &ScenarioData) {
+    let Some(dev) = data.device() else { return };
+    let Some(faults) = dev.faults() else { return };
+    let s = faults.snapshot();
+    println!(
+        "faults: {} eio, {} corrupt, {} stall | {} retries, {} checksum failures | wear x{:.2}{}",
+        s.eio,
+        s.corrupt,
+        s.stall,
+        s.retries,
+        s.checksum_failures,
+        dev.wear_factor(),
+        if dev.is_degraded() { " | DEGRADED" } else { "" }
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
@@ -109,6 +139,7 @@ fn main() {
             let edges = params.generate();
             let opts = ScenarioOptions {
                 delay_mode: sembfs::semext::DelayMode::Throttled,
+                fault_plan: fault_plan_of(&flags),
                 ..Default::default()
             };
             let data = ScenarioData::build(&edges, scenario, opts).expect("build");
@@ -130,6 +161,7 @@ fn main() {
             .expect("all rounds validate");
             println!("{}", summary.teps_stats.to_report());
             println!("score (median): {:.3} MTEPS", summary.median_teps() / 1e6);
+            print_fault_summary(&data);
             if let Some(path) = trace_out {
                 let tracer = sembfs::obs::global();
                 tracer.set_enabled(false);
@@ -262,6 +294,7 @@ fn main() {
                 }
             }
             println!("{}", engine.stats().report());
+            print_fault_summary(&data);
         }
         "serve-sim" => {
             let scenarios: Vec<Scenario> = match flags.get("scenario").map(String::as_str) {
@@ -305,25 +338,32 @@ fn main() {
                         scope.spawn(move || {
                             let mix = QueryMix::point_queries();
                             let mut rng = Xoshiro256::seed_from(seed, c as u64 + 1);
-                            for _ in 0..requests {
+                            // Closed loop: overload is retried with the
+                            // shared capped-backoff helper (generous
+                            // budget — exhaustion here means the pool is
+                            // truly starved, not just momentarily full).
+                            let policy = sembfs::semext::RetryPolicy {
+                                max_retries: 64,
+                                base: std::time::Duration::from_micros(200),
+                                cap: std::time::Duration::from_millis(20),
+                                deadline: std::time::Duration::from_secs(60),
+                            };
+                            for r in 0..requests {
                                 let query = mix.sample(&sampler, &mut rng);
-                                // Closed loop with retry-on-overload.
-                                loop {
-                                    match engine.run(query) {
-                                        Ok(_) => break,
-                                        Err(QueryError::Overloaded { .. }) => {
-                                            std::thread::sleep(std::time::Duration::from_micros(
-                                                200,
-                                            ));
-                                        }
-                                        Err(e) => panic!("query failed: {e}"),
-                                    }
-                                }
+                                sembfs::semext::retry_blocking(
+                                    policy,
+                                    seed ^ ((c as u64) << 32 | r as u64),
+                                    |e| matches!(e, QueryError::Overloaded { .. }),
+                                    || engine.run(query),
+                                )
+                                .unwrap_or_else(|e| panic!("query failed: {e}"));
                             }
                         });
                     }
                 });
-                println!("{}\n", engine.stats().report());
+                println!("{}", engine.stats().report());
+                print_fault_summary(&data);
+                println!();
                 if prometheus {
                     println!("{}", registry.prometheus_text());
                 }
@@ -346,6 +386,7 @@ fn build_query_data(
         delay_mode: sembfs::semext::DelayMode::Throttled,
         sort_neighbors: true,
         page_cache_bytes: scenario.device_profile().map(|_| cache_mb << 20),
+        fault_plan: fault_plan_of(flags),
         ..Default::default()
     };
     ScenarioData::build(&edges, scenario, opts).expect("build scenario")
@@ -358,13 +399,18 @@ fn usage() {
          \x20 generate  --scale N [--seed S] [--out FILE]   write a Kronecker edge file\n\
          \x20 info      --scale N [--seed S]                print Table II-style sizes\n\
          \x20 bfs       --scale N [--scenario dram|flash|ssd] [--roots R]\n\
-         \x20           [--trace-out TRACE.jsonl]            run the benchmark\n\
+         \x20           [--trace-out TRACE.jsonl] [--faults SPEC]  run the benchmark\n\
          \x20 report    TRACE.jsonl [--chrome OUT.json]      per-level table from a trace\n\
          \x20 sweep     --scale N [--scenario dram|flash|ssd] [--roots R]  α/β sweep\n\
          \x20 query     --scale N [--scenario dram|flash|ssd] [--src A --dst B | --pairs P]\n\
-         \x20           [--workers W] [--cache-mb M]        validated shortest-path queries\n\
+         \x20           [--workers W] [--cache-mb M] [--faults SPEC]  validated point queries\n\
          \x20 serve-sim --scale N [--scenario dram|flash|ssd|all] [--clients C] [--workers W]\n\
          \x20           [--requests R] [--queue Q] [--zipf THETA] [--result-cache E]\n\
-         \x20           [--cache-mb M] [--prometheus]       closed-loop query load test"
+         \x20           [--cache-mb M] [--faults SPEC] [--prometheus]  closed-loop load test\n\
+         \n\
+         --faults SPEC injects deterministic device faults on NVM scenarios. SPEC is a\n\
+         comma list of key=value: seed=N, eio=RATE, corrupt=RATE, stall=RATE,\n\
+         stall_us=MICROS, wear_gb=GB, retries=N, degrade=RATIO. Rates are per-request\n\
+         probabilities in [0,1]; e.g. --faults seed=7,eio=0.01,corrupt=0.001,stall=0.005"
     );
 }

@@ -1,6 +1,8 @@
 //! Failure injection: corrupted BFS outputs must be rejected by the
 //! Graph500 validator (Step 4 is adversarial — it assumes the kernel may
-//! be wrong).
+//! be wrong), and corrupted *storage* must be rejected by the read path's
+//! page checksums — a torn page can fail the run, but it can never leak
+//! into a wrong-but-valid BFS tree.
 
 use sembfs::prelude::*;
 use sembfs_graph500::validate::ValidationError;
@@ -138,6 +140,77 @@ fn level_skip_fails() {
     }
     assert!(done, "graph has a level-1 vertex adjacent to level 2");
     assert!(validate_bfs_tree(&parent, root, &edges).is_err());
+}
+
+#[test]
+fn torn_page_behind_the_store_is_a_checksum_error_never_a_wrong_tree() {
+    // Build on an explicit data dir so the offloaded CSR files can be
+    // corrupted *behind* the store, after checksum sealing — the model of
+    // a torn write or silent media corruption at rest.
+    let edges = KroneckerParams::graph500(10, 31).generate();
+    let dir = sembfs::semext::TempDir::new("torn-page").unwrap();
+    let build = || {
+        ScenarioData::build(
+            &edges,
+            Scenario::DramPcieFlash,
+            ScenarioOptions {
+                topology: Topology::new(2, 2),
+                data_dir: Some(dir.path().to_path_buf()),
+                sort_neighbors: true,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    };
+    let data = build();
+    let root = select_roots(data.csr().num_vertices(), 1, 13, |v| data.degree(v))[0];
+    let policy = FixedPolicy(Direction::TopDown);
+    let clean = data.run(root, &policy, &BfsConfig::paper()).unwrap();
+    validate_bfs_tree(&clean.parent, root, &edges).unwrap();
+    drop(data);
+
+    // Rebuild (restoring + resealing the files), then tear one page of the
+    // domain-0 adjacency values: flip a byte in the middle of page 2.
+    let data = build();
+    let victim = dir.path().join("fg-0.values");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    assert!(bytes.len() > 3 * 4096, "values file spans several pages");
+    let torn = 2 * 4096 + 123;
+    bytes[torn] ^= 0x40;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    // A full adjacency scan must trip the per-page checksum — the torn
+    // bytes are caught at fill, not served.
+    let mut ctx = data.neighbor_ctx();
+    let mut scan = Ok(());
+    for v in 0..data.num_vertices() as u32 {
+        let r = data.for_each_forward_neighbor(v, &mut ctx, &mut |_| {});
+        if r.is_err() {
+            scan = r;
+            break;
+        }
+    }
+    let err = scan.expect_err("the torn page must be detected by a full scan");
+    assert!(
+        matches!(err, sembfs::semext::Error::ChecksumMismatch { page: 2, .. }),
+        "got {err:?}"
+    );
+
+    // BFS over the torn store: allowed to fail (typed), never allowed to
+    // silently produce a different tree.
+    match data.run(root, &policy, &BfsConfig::paper()) {
+        Err(e) => assert!(
+            matches!(e, sembfs::semext::Error::ChecksumMismatch { .. }),
+            "got {e:?}"
+        ),
+        Ok(run) => {
+            validate_bfs_tree(&run.parent, root, &edges).unwrap();
+            assert_eq!(
+                run.parent, clean.parent,
+                "a run that avoided the torn page must match the clean tree"
+            );
+        }
+    }
 }
 
 #[test]

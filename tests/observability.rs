@@ -152,6 +152,7 @@ fn switch_decisions_replay_to_the_same_directions() {
             prev_frontier,
             frontier_edges: None,
             unvisited,
+            event: None,
         });
         assert_eq!(
             replayed,

@@ -7,6 +7,7 @@ use proptest::prelude::*;
 use sembfs::dist::{dist_hybrid_bfs, ClusterSpec, DistGraph};
 use sembfs::prelude::*;
 use sembfs_core::policy::PolicyCtx;
+use sembfs_core::AccessPath;
 use sembfs_csr::{build_csr, BuildOptions};
 use sembfs_graph500::validate::compute_levels;
 use sembfs_semext::{DramBackend, ReadAt, ShardedCachedStore, ShardedPageCache};
@@ -73,6 +74,61 @@ proptest! {
         let got = compute_levels(&run.parent, root).unwrap();
         prop_assert_eq!(got, expect);
         validate_bfs_tree(&run.parent, root, &edges).unwrap();
+    }
+
+    /// Any *recoverable* fault plan — transient EIO, checksummed
+    /// corruption, stalls — leaves the BFS output bit-identical to the
+    /// fault-free run, on every storage layout. Recoverability is
+    /// probabilistic: a run that exhausts its retry budget fails *typed*
+    /// (`RetriesExhausted`/`ChecksumMismatch`, discarded here), it never
+    /// silently diverges.
+    #[test]
+    fn recoverable_faults_leave_bfs_bit_identical(
+        (edges, root) in arb_graph(),
+        fault_seed in any::<u64>(),
+        eio in 0u32..16,
+        corrupt in 0u32..10,
+        stall in 0u32..6,
+        scenario_pick in 1usize..3,
+        cache in proptest::option::of(1u64..(1 << 18)),
+        mmap in any::<bool>(),
+    ) {
+        let scenario = Scenario::ALL[scenario_pick];
+        let opts = |fault_plan| ScenarioOptions {
+            topology: Topology::new(2, 1),
+            page_cache_bytes: cache,
+            access_path: if mmap { AccessPath::Mmap } else { AccessPath::Pread },
+            fault_plan,
+            ..Default::default()
+        };
+        let policy = AlphaBetaPolicy::new(1e3, 1e3);
+        let clean = ScenarioData::build(&edges, scenario, opts(None))
+            .unwrap()
+            .run(root, &policy, &BfsConfig::paper())
+            .unwrap();
+
+        let spec = format!(
+            "seed={fault_seed},eio={},corrupt={},stall={},stall_us=40,retries=12",
+            eio as f64 / 100.0,
+            corrupt as f64 / 100.0,
+            stall as f64 / 100.0,
+        );
+        let plan = sembfs::semext::FaultPlan::parse(&spec).unwrap();
+        let data = ScenarioData::build(&edges, scenario, opts(Some(plan))).unwrap();
+        match data.run(root, &policy, &BfsConfig::paper()) {
+            Ok(run) => {
+                prop_assert_eq!(&run.parent, &clean.parent, "spec {}", spec);
+                prop_assert_eq!(run.visited, clean.visited);
+                validate_bfs_tree(&run.parent, root, &edges).unwrap();
+            }
+            // Retry budget exhausted — legal, typed, and rare at these
+            // rates. The case carries no equivalence information.
+            Err(sembfs::semext::Error::RetriesExhausted { .. })
+            | Err(sembfs::semext::Error::ChecksumMismatch { .. }) => {
+                prop_assume!(false);
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
     }
 
     /// Aggregated (libaio) and synchronous I/O produce identical trees,
