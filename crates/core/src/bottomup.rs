@@ -47,6 +47,19 @@ pub trait BottomUpSource: Send + Sync {
         in_frontier: impl Fn(VertexId) -> bool,
     ) -> Result<SearchOutcome>;
 
+    /// Probe *all* of `w`'s neighbors and return the **smallest** frontier
+    /// member. The deterministic parallel kernel uses this instead of
+    /// [`search_parent`](Self::search_parent): first-hit order depends on
+    /// the adjacency layout (neighbor sorting is optional), while the
+    /// minimum is layout-invariant — the same canonical parent the
+    /// min-parent top-down claim and [`crate::reference_bfs`] produce.
+    fn search_parent_min(
+        &self,
+        w: VertexId,
+        ctx: &mut NeighborCtx,
+        in_frontier: impl Fn(VertexId) -> bool,
+    ) -> Result<SearchOutcome>;
+
     /// Full degree of `w` (used for TEPS edge accounting).
     fn full_degree(&self, w: VertexId, ctx: &mut NeighborCtx) -> Result<u64>;
 }
@@ -75,6 +88,27 @@ impl BottomUpSource for BackwardGraph {
         }
         Ok(SearchOutcome {
             parent: None,
+            dram_edges: scanned,
+            nvm_edges: 0,
+        })
+    }
+
+    fn search_parent_min(
+        &self,
+        w: VertexId,
+        _ctx: &mut NeighborCtx,
+        in_frontier: impl Fn(VertexId) -> bool,
+    ) -> Result<SearchOutcome> {
+        let mut scanned = 0u64;
+        let mut best: Option<VertexId> = None;
+        for &v in self.neighbors(w) {
+            scanned += 1;
+            if in_frontier(v) && best.is_none_or(|b| v < b) {
+                best = Some(v);
+            }
+        }
+        Ok(SearchOutcome {
+            parent: best,
             dram_edges: scanned,
             nvm_edges: 0,
         })
@@ -121,6 +155,45 @@ impl<R: ReadAt> BottomUpSource for SplitBackwardGraph<R> {
         })?;
         Ok(SearchOutcome {
             parent,
+            dram_edges,
+            nvm_edges,
+        })
+    }
+
+    fn search_parent_min(
+        &self,
+        w: VertexId,
+        ctx: &mut NeighborCtx,
+        in_frontier: impl Fn(VertexId) -> bool,
+    ) -> Result<SearchOutcome> {
+        // The minimum may hide in either half: scan the DRAM head *and*
+        // the NVM tail completely, then take the smaller hit.
+        let mut dram_edges = 0u64;
+        let mut best: Option<VertexId> = None;
+        for &v in self.head_neighbors(w) {
+            dram_edges += 1;
+            if in_frontier(v) && best.is_none_or(|b| v < b) {
+                best = Some(v);
+            }
+        }
+        let mut nvm_edges = 0u64;
+        let tail_best = self.with_tail_neighbors(w, ctx, |ns| {
+            let mut tb: Option<VertexId> = None;
+            for &v in ns {
+                nvm_edges += 1;
+                if in_frontier(v) && tb.is_none_or(|b| v < b) {
+                    tb = Some(v);
+                }
+            }
+            tb
+        })?;
+        if let Some(t) = tail_best {
+            if best.is_none_or(|b| t < b) {
+                best = Some(t);
+            }
+        }
+        Ok(SearchOutcome {
+            parent: best,
             dram_edges,
             nvm_edges,
         })
@@ -362,6 +435,49 @@ mod tests {
         assert_eq!(so.dram_edges, 2);
         assert_eq!(so.nvm_edges, 3);
         assert_eq!(sbg.full_degree(5, &mut ctx).unwrap(), 5);
+    }
+
+    #[test]
+    fn min_search_returns_smallest_frontier_neighbor() {
+        // Vertex 3 has neighbors [2, 0, 1] (unsorted build): first-hit
+        // against frontier {1, 2} would return 2, the min scan returns 1.
+        let el = MemEdgeList::new(4, vec![(3, 2), (3, 0), (3, 1)]);
+        let csr = build_csr(&el, BuildOptions::default()).unwrap();
+        let bg = BackwardGraph::new(csr, RangePartition::new(4, 1));
+        let mut ctx = NeighborCtx::dram();
+        let in_frontier = |v: VertexId| v == 1 || v == 2;
+        let so = bg.search_parent_min(3, &mut ctx, in_frontier).unwrap();
+        assert_eq!(so.parent, Some(1));
+        // The min scan always pays the full degree.
+        assert_eq!(so.dram_edges, 3);
+    }
+
+    #[test]
+    fn min_search_spans_head_and_tail() {
+        // Vertex 5 sorted neighbors [0,1,2,3,4], head limit 2 → head
+        // holds [0,1], tail [2,3,4]. With frontier {1,3} the min is in
+        // the head; with frontier {3,4} it is in the tail.
+        let el = MemEdgeList::new(6, vec![(5, 0), (5, 1), (5, 2), (5, 3), (5, 4)]);
+        let csr = build_csr(
+            &el,
+            BuildOptions {
+                sort_neighbors: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let dir = TempDir::new("bu-minsplit").unwrap();
+        let sbg = split_source(&csr, 2, 1, &dir);
+        let mut ctx = NeighborCtx::dram();
+        let so = sbg
+            .search_parent_min(5, &mut ctx, |v| v == 1 || v == 3)
+            .unwrap();
+        assert_eq!(so.parent, Some(1));
+        assert_eq!((so.dram_edges, so.nvm_edges), (2, 3));
+        let so = sbg
+            .search_parent_min(5, &mut ctx, |v| v == 3 || v == 4)
+            .unwrap();
+        assert_eq!(so.parent, Some(3));
     }
 
     #[test]

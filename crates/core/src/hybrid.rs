@@ -11,12 +11,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sembfs_csr::{DomainNeighbors, NeighborCtx};
+use sembfs_numa::DomainCounters;
 use sembfs_semext::{ChunkedReader, Device, Result, ShardedPageCache};
 
 use crate::bitmap::AtomicBitmap;
 use crate::bottomup::{bottom_up_step, BottomUpSource};
 use crate::frontier::{bitmap_to_queue, queue_to_bitmap};
 use crate::level_stats::{Direction, LevelStats};
+use crate::parallel::{par_bottom_up_step, par_top_down_step};
 use crate::policy::{DirectionPolicy, PolicyCtx, PolicyEvent};
 use crate::topdown::top_down_step;
 use crate::tree::{new_parent_array, snapshot_parents};
@@ -52,12 +54,28 @@ pub struct BfsConfig {
     /// Set the monitored cache's sequential readahead window, in pages
     /// (`None` keeps the current window).
     pub cache_readahead_pages: Option<usize>,
+    /// Worker threads for the deterministic parallel kernels
+    /// ([`crate::parallel`]). `0` (the default) keeps the legacy
+    /// shim-parallel kernels; `>= 1` runs exactly that many explicit
+    /// workers with min-parent tie-breaking, so the tree is bit-identical
+    /// to [`crate::reference_bfs`] at any count.
+    pub threads: usize,
+    /// Per-domain locality counters charged by the parallel kernels
+    /// (thread-local accumulate, merged once per step). Ignored when
+    /// `threads == 0`.
+    pub numa_counters: Option<Arc<DomainCounters>>,
 }
 
 impl BfsConfig {
     /// The paper's defaults: batch of 64, no monitoring, synchronous
-    /// `read(2)` I/O.
+    /// `read(2)` I/O. Honors `SEMBFS_BFS_THREADS` (worker count for the
+    /// deterministic parallel kernels; unset or `0` keeps the legacy
+    /// kernels) so test/CI matrices can flip every entry point at once.
     pub fn paper() -> Self {
+        let threads = std::env::var("SEMBFS_BFS_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0);
         Self {
             batch: 64,
             reader: None,
@@ -67,7 +85,22 @@ impl BfsConfig {
             cache_monitor: None,
             cache_capacity_bytes: None,
             cache_readahead_pages: None,
+            threads,
+            numa_counters: None,
         }
+    }
+
+    /// Run the deterministic parallel kernels on exactly `threads` workers
+    /// (`0` restores the legacy kernels).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Attach per-domain locality counters (parallel kernels only).
+    pub fn with_numa_counters(mut self, counters: Arc<DomainCounters>) -> Self {
+        self.numa_counters = Some(counters);
+        self
     }
 
     /// Enable `libaio`-style batched I/O submissions (§VI-D).
@@ -286,7 +319,20 @@ where
         let t0 = Instant::now();
         let discovered = match direction {
             Direction::TopDown => {
-                let out = top_down_step(forward, &queue, &scratch, &visited, batch, &make_ctx)?;
+                let out = if cfg.threads >= 1 {
+                    par_top_down_step(
+                        forward,
+                        &queue,
+                        &scratch,
+                        &visited,
+                        batch,
+                        cfg.threads,
+                        &make_ctx,
+                        cfg.numa_counters.as_deref(),
+                    )?
+                } else {
+                    top_down_step(forward, &queue, &scratch, &visited, batch, &make_ctx)?
+                };
                 for &w in &out.next {
                     scratch[w as usize].store(level, Ordering::Relaxed);
                 }
@@ -296,8 +342,20 @@ where
             }
             Direction::BottomUp => {
                 next_bm.clear();
-                let out =
-                    bottom_up_step(backward, &front_bm, &next_bm, &scratch, &visited, &make_ctx)?;
+                let out = if cfg.threads >= 1 {
+                    par_bottom_up_step(
+                        backward,
+                        &front_bm,
+                        &next_bm,
+                        &scratch,
+                        &visited,
+                        cfg.threads,
+                        &make_ctx,
+                        cfg.numa_counters.as_deref(),
+                    )?
+                } else {
+                    bottom_up_step(backward, &front_bm, &next_bm, &scratch, &visited, &make_ctx)?
+                };
                 std::mem::swap(&mut front_bm, &mut next_bm);
                 for w in front_bm.iter_ones() {
                     scratch[w as usize].store(level, Ordering::Relaxed);
@@ -395,6 +453,13 @@ where
     let mut level = 1u32;
     let mut elapsed = Duration::ZERO;
     let mut was_degraded = false;
+    // Worker count recorded per level: exact for the explicit pool, the
+    // shim's effective parallelism for the legacy kernels.
+    let level_threads = if cfg.threads >= 1 {
+        cfg.threads
+    } else {
+        rayon::current_num_threads()
+    };
 
     while frontier_size > 0 {
         // Policy decision for this level. The frontier's outgoing-edge
@@ -484,7 +549,20 @@ where
         let t0 = Instant::now();
         let (discovered, scanned, nvm_edges) = match direction {
             Direction::TopDown => {
-                let out = top_down_step(forward, &queue, &parent, &visited, batch, &make_ctx)?;
+                let out = if cfg.threads >= 1 {
+                    par_top_down_step(
+                        forward,
+                        &queue,
+                        &parent,
+                        &visited,
+                        batch,
+                        cfg.threads,
+                        &make_ctx,
+                        cfg.numa_counters.as_deref(),
+                    )?
+                } else {
+                    top_down_step(forward, &queue, &parent, &visited, batch, &make_ctx)?
+                };
                 let d = out.next.len() as u64;
                 // NVM share of top-down scans: with an external forward
                 // graph every scanned edge is read from NVM (Fig. 10's
@@ -500,8 +578,20 @@ where
             }
             Direction::BottomUp => {
                 next_bm.clear();
-                let out =
-                    bottom_up_step(backward, &front_bm, &next_bm, &parent, &visited, &make_ctx)?;
+                let out = if cfg.threads >= 1 {
+                    par_bottom_up_step(
+                        backward,
+                        &front_bm,
+                        &next_bm,
+                        &parent,
+                        &visited,
+                        cfg.threads,
+                        &make_ctx,
+                        cfg.numa_counters.as_deref(),
+                    )?
+                } else {
+                    bottom_up_step(backward, &front_bm, &next_bm, &parent, &visited, &make_ctx)?
+                };
                 // The produced set becomes the next level's frontier.
                 std::mem::swap(&mut front_bm, &mut next_bm);
                 (
@@ -539,6 +629,7 @@ where
                     io_wall_ns: io.as_ref().map_or(0, |i| i.wall_ns()),
                     cache_hits: cache.as_ref().map_or(0, |c| c.hits),
                     cache_misses: cache.as_ref().map_or(0, |c| c.misses),
+                    threads: level_threads as u64,
                 },
             );
         }
@@ -554,6 +645,7 @@ where
             elapsed: dt,
             io,
             cache,
+            threads: level_threads,
         });
 
         prev_frontier = frontier_size;
@@ -789,6 +881,47 @@ mod tests {
         .unwrap();
         assert_eq!(hybrid.levels[6], 3);
         assert_eq!(hybrid.levels[0], 0);
+    }
+
+    #[test]
+    fn parallel_threads_match_reference_tree() {
+        use crate::reference::reference_bfs;
+        let p = sembfs_graph500::KroneckerParams::graph500(9, 8);
+        let el = p.generate();
+        let csr = build_csr(&el, BuildOptions::default()).unwrap();
+        let n = csr.num_vertices();
+        let part = RangePartition::new(n, 4);
+        let fg = DramForwardGraph::from_csr(&csr, &part);
+        let root = (0..n as u32).find(|&v| csr.degree(v) > 0).unwrap();
+        let want = reference_bfs(&csr, root);
+        let bg = BackwardGraph::new(csr, part);
+        for policy in [
+            &FixedPolicy(Direction::TopDown) as &dyn DirectionPolicy,
+            &FixedPolicy(Direction::BottomUp),
+            &AlphaBetaPolicy::new(14.0, 24.0),
+        ] {
+            for threads in [1, 2, 4] {
+                let cfg = BfsConfig::paper().with_threads(threads);
+                let run = hybrid_bfs(&fg, &bg, root, policy, &cfg).unwrap();
+                assert_eq!(run.parent, want.parent, "{threads} threads");
+                assert_eq!(run.visited, want.visited);
+                assert!(run.levels.iter().all(|l| l.threads == threads));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_counters_account_every_scanned_edge() {
+        let (fg, bg) = star_tail();
+        let counters = Arc::new(sembfs_numa::DomainCounters::new(2));
+        let cfg = BfsConfig::paper()
+            .with_threads(2)
+            .with_numa_counters(counters.clone());
+        let run = hybrid_bfs(&fg, &bg, 0, &AlphaBetaPolicy::new(1e4, 1e4), &cfg).unwrap();
+        assert_eq!(
+            counters.total_local() + counters.total_remote(),
+            run.scanned_edges()
+        );
     }
 
     #[test]

@@ -56,6 +56,9 @@ pub struct LevelStats {
     /// monitored (hit-rate per level: the levels whose working set fits
     /// DRAM run at cache speed, the rest pay the device).
     pub cache: Option<CacheSnapshot>,
+    /// Worker threads the step ran on (exact for the deterministic
+    /// parallel kernels, the shim's effective parallelism otherwise).
+    pub threads: usize,
 }
 
 impl LevelStats {
@@ -78,6 +81,19 @@ impl LevelStats {
         } else {
             0.0
         }
+    }
+
+    /// Overlapped-wait ratio of the level's device window, in `[0, 1)`:
+    /// the fraction of summed per-request response time hidden by
+    /// concurrent in-flight requests (`1 − wall/Σresponse`). Zero when the
+    /// requests were fully serialized (wall ≥ Σresponse) and `None` when
+    /// no device was monitored or the level did no I/O.
+    pub fn overlap(&self) -> Option<f64> {
+        let io = self.io.as_ref()?;
+        if io.response_ns == 0 {
+            return None;
+        }
+        Some((1.0 - io.wall_ns() as f64 / io.response_ns as f64).max(0.0))
     }
 }
 
@@ -105,6 +121,7 @@ mod tests {
             elapsed: Duration::from_millis(10),
             io: None,
             cache: None,
+            threads: 1,
         }
     }
 
@@ -133,6 +150,37 @@ mod tests {
     fn scan_rate() {
         let l = mk(Direction::TopDown, 1, 1000);
         assert!((l.scan_rate() - 100_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn overlap_ratio_from_io_window() {
+        let mut l = mk(Direction::TopDown, 1, 10);
+        assert_eq!(l.overlap(), None);
+        // 4 requests, 100ns response each, over a 100ns wall window:
+        // 4 in flight → 75% of the wait was hidden.
+        l.io = Some(IoSnapshot {
+            requests: 4,
+            bytes: 4 * 4096,
+            sectors: 32,
+            response_ns: 400,
+            service_ns: 100,
+            first_arrival_ns: 0,
+            last_completion_ns: 100,
+            queued_at_arrival: 6,
+        });
+        assert!((l.overlap().unwrap() - 0.75).abs() < 1e-12);
+        // Fully serialized: wall equals summed response → zero overlap.
+        l.io = Some(IoSnapshot {
+            requests: 2,
+            bytes: 8192,
+            sectors: 16,
+            response_ns: 200,
+            service_ns: 200,
+            first_arrival_ns: 0,
+            last_completion_ns: 200,
+            queued_at_arrival: 0,
+        });
+        assert_eq!(l.overlap(), Some(0.0));
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! * [`policy`] — direction-switching: the paper's α/β rule, fixed
 //!   directions (the Fig. 8 baselines), and a Beamer-style heuristic for
 //!   ablation.
+//! * [`parallel`] — deterministic parallel step kernels: chunked
+//!   work-stealing top-down with a min-parent `fetch_min` claim and
+//!   range-partitioned bottom-up, bit-identical to [`reference_bfs`] at
+//!   any thread count (`BfsConfig::threads`).
 //! * [`hybrid`] — the level-synchronous driver with per-level
 //!   instrumentation ([`level_stats`]).
 //! * [`mod@reference`] — the serial Graph500-reference-style BFS baseline.
@@ -31,6 +35,7 @@ pub mod energy;
 pub mod frontier;
 pub mod hybrid;
 pub mod level_stats;
+pub mod parallel;
 pub mod policy;
 pub mod reference;
 pub mod scenario;
@@ -42,6 +47,7 @@ pub use bottomup::{BottomUpSource, SearchOutcome};
 pub use energy::PowerModel;
 pub use hybrid::{hybrid_bfs, hybrid_bfs_distances, BfsConfig, BfsRun, DistanceRun};
 pub use level_stats::{Direction, LevelStats};
+pub use parallel::{par_bottom_up_step, par_top_down_step};
 pub use policy::{
     AlphaBetaPolicy, BeamerPolicy, DirectionPolicy, FixedPolicy, PolicyCtx, PolicyEvent,
 };

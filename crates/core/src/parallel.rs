@@ -1,0 +1,493 @@
+//! Deterministic parallel BFS step kernels (`ParallelBfs`).
+//!
+//! The legacy kernels in [`crate::topdown`]/[`crate::bottomup`] are
+//! parallel over the rayon shim but *racy in the parent choice*: whichever
+//! thread wins `test_and_set` keeps its parent, so two runs of the same
+//! search can produce different (both valid) trees. These kernels instead
+//! run an explicit worker pool with a canonical **min-parent** tie-break,
+//! so the tree is bit-identical to [`crate::reference_bfs`] at any thread
+//! count, direction schedule, and data layout:
+//!
+//! * **Top-down** claims vertices with `fetch_min` on the shared atomic
+//!   parent array. Every frontier neighbor of `w` proposes itself; the
+//!   smallest proposal survives, and exactly one proposer (the one that
+//!   observed `INVALID_PARENT`) appends `w` to its thread-local next
+//!   buffer. Buffers are concatenated after the join — no global lock.
+//!   Visited bits are set only *after* the step, otherwise a larger
+//!   early proposer would suppress a smaller later one.
+//! * **Bottom-up** range-partitions the unvisited vertices (each has a
+//!   unique owner, so plain stores suffice) and takes the *minimum*
+//!   frontier neighbor via [`BottomUpSource::search_parent_min`] instead
+//!   of the first hit, which depends on the adjacency layout.
+//!
+//! Both graphs derive from the same bidirectional CSR, so "`w`'s smallest
+//! frontier neighbor" is the same vertex in either direction — the min
+//! rule commutes with the α/β switch schedule.
+//!
+//! Work distribution is chunked work-stealing: a shared atomic cursor
+//! over (domain × frontier-chunk) units top-down and (domain ×
+//! vertex-range) units bottom-up. Idle workers immediately claim the next
+//! unit, so on the semi-external path all workers issue page reads
+//! concurrently and their throttled `Device::wait_until` windows overlap.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+use sembfs_csr::{DomainNeighbors, NeighborCtx};
+use sembfs_numa::{DomainCounters, LocalDomainCounters, RangePartition};
+use sembfs_semext::Result;
+
+use crate::bitmap::AtomicBitmap;
+use crate::bottomup::{BottomUpOutput, BottomUpSource};
+use crate::topdown::TopDownOutput;
+use crate::{VertexId, INVALID_PARENT};
+
+/// Vertices per bottom-up work unit (same granularity as the legacy
+/// kernel's inner chunks).
+const BOTTOM_UP_CHUNK: u64 = 4096;
+
+/// One top-down worker's step result: its next-frontier buffer, scanned
+/// edges, and (when NUMA accounting is on) its private counter deltas.
+type WorkerOutput = Result<(Vec<VertexId>, u64, Option<LocalDomainCounters>)>;
+
+/// Deterministic parallel top-down step over `threads` explicit workers.
+///
+/// Semantics match [`crate::topdown::top_down_step`] except for the
+/// tie-break: each discovered vertex gets its **smallest** frontier
+/// neighbor as parent (`fetch_min` claim), so the result is independent
+/// of the worker schedule. `counters`, when given, accrue per-domain
+/// locality: each neighbor-list visit is charged from the frontier
+/// vertex's owning domain to the list's domain, accumulated thread-local
+/// and merged once per step.
+#[allow(clippy::too_many_arguments)]
+pub fn par_top_down_step<G: DomainNeighbors>(
+    g: &G,
+    frontier: &[VertexId],
+    parent: &[AtomicU32],
+    visited: &AtomicBitmap,
+    batch: usize,
+    threads: usize,
+    make_ctx: &(dyn Fn() -> NeighborCtx + Sync),
+    counters: Option<&DomainCounters>,
+) -> Result<TopDownOutput> {
+    let domains = g.num_domains();
+    let batch = batch.max(1);
+    let num_chunks = frontier.len().div_ceil(batch);
+    let total_units = domains * num_chunks;
+    if total_units == 0 {
+        return Ok(TopDownOutput {
+            next: Vec::new(),
+            scanned_edges: 0,
+        });
+    }
+    // Owner partition of the *frontier* vertices, for locality charging.
+    let part = counters.map(|_| RangePartition::new(g.num_vertices(), domains));
+
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.max(1).min(total_units);
+
+    let results: Vec<WorkerOutput> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let part = part.as_ref();
+                scope.spawn(move || {
+                    let tracer = sembfs_obs::global();
+                    let step_start = tracer.is_enabled().then(|| tracer.now_ns());
+                    let mut ctx = make_ctx();
+                    let mut next = Vec::new();
+                    let mut scanned = 0u64;
+                    let mut local = counters.map(|_| LocalDomainCounters::new(domains));
+                    loop {
+                        let u = cursor.fetch_add(1, Ordering::Relaxed);
+                        if u >= total_units {
+                            break;
+                        }
+                        let k = u / num_chunks;
+                        let c = u % num_chunks;
+                        let chunk = &frontier[c * batch..((c + 1) * batch).min(frontier.len())];
+                        g.with_neighbors_batch(k, chunk, &mut ctx, &mut |v, ns| {
+                            scanned += ns.len() as u64;
+                            if let (Some(local), Some(part)) = (local.as_mut(), part) {
+                                local.record(part.domain_of(v as u64), k, ns.len() as u64);
+                            }
+                            for &w in ns {
+                                // Visited bits are stable during the
+                                // step (set after the join below), so
+                                // every frontier neighbor of an
+                                // unvisited w gets to propose.
+                                if !visited.get(w) {
+                                    let prev = parent[w as usize].fetch_min(v, Ordering::Relaxed);
+                                    if prev == INVALID_PARENT {
+                                        next.push(w);
+                                    }
+                                }
+                            }
+                        })?;
+                    }
+                    if let Some(start_ns) = step_start {
+                        tracer.span(
+                            start_ns,
+                            tracer.now_ns(),
+                            sembfs_obs::TraceEvent::Step {
+                                dir: sembfs_obs::Dir::TopDown,
+                                scanned_edges: scanned,
+                            },
+                        );
+                    }
+                    Ok((next, scanned, local))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel top-down worker panicked"))
+            .collect()
+    });
+
+    let mut next = Vec::new();
+    let mut scanned_edges = 0u64;
+    for r in results {
+        let (n, s, local) = r?;
+        next.extend(n);
+        scanned_edges += s;
+        if let (Some(counters), Some(local)) = (counters, local) {
+            counters.merge(&local);
+        }
+    }
+    // Exactly one worker claimed each discovered vertex, so the merged
+    // buffers are duplicate-free; publish the visited bits now that no
+    // smaller parent proposal can arrive.
+    for &w in &next {
+        visited.set(w);
+    }
+    Ok(TopDownOutput {
+        next,
+        scanned_edges,
+    })
+}
+
+/// Deterministic parallel bottom-up step over `threads` explicit workers.
+///
+/// Semantics match [`crate::bottomup::bottom_up_step`] except each
+/// discovered vertex takes its **smallest** frontier neighbor
+/// ([`BottomUpSource::search_parent_min`]), so the parent tree matches
+/// the min-parent top-down claim and [`crate::reference_bfs`]. Note the
+/// edge accounting differs from the first-hit kernel: the min scan always
+/// pays the full degree of every probed vertex.
+#[allow(clippy::too_many_arguments)]
+pub fn par_bottom_up_step<B: BottomUpSource>(
+    b: &B,
+    frontier: &AtomicBitmap,
+    next: &AtomicBitmap,
+    parent: &[AtomicU32],
+    visited: &AtomicBitmap,
+    threads: usize,
+    make_ctx: &(dyn Fn() -> NeighborCtx + Sync),
+    counters: Option<&DomainCounters>,
+) -> Result<BottomUpOutput> {
+    let part = b.partition();
+    let domains = part.num_domains();
+    // Work units: BOTTOM_UP_CHUNK-vertex ranges, never straddling a
+    // domain boundary (probes stay domain-local, as in the legacy kernel).
+    let mut units: Vec<(usize, std::ops::Range<u64>)> = Vec::new();
+    for k in 0..domains {
+        let range = part.range(k);
+        let mut s = range.start;
+        while s < range.end {
+            let e = (s + BOTTOM_UP_CHUNK).min(range.end);
+            units.push((k, s..e));
+            s = e;
+        }
+    }
+    if units.is_empty() {
+        return Ok(BottomUpOutput {
+            discovered: 0,
+            dram_edges: 0,
+            nvm_edges: 0,
+        });
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.max(1).min(units.len());
+    let units = &units;
+
+    let results: Vec<Result<(BottomUpOutput, Option<LocalDomainCounters>)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    scope.spawn(move || {
+                        let tracer = sembfs_obs::global();
+                        let step_start = tracer.is_enabled().then(|| tracer.now_ns());
+                        let mut ctx = make_ctx();
+                        let mut out = BottomUpOutput {
+                            discovered: 0,
+                            dram_edges: 0,
+                            nvm_edges: 0,
+                        };
+                        let mut local = counters.map(|_| LocalDomainCounters::new(domains));
+                        loop {
+                            let u = cursor.fetch_add(1, Ordering::Relaxed);
+                            if u >= units.len() {
+                                break;
+                            }
+                            let (k, ref range) = units[u];
+                            for w in range.clone() {
+                                let w = w as VertexId;
+                                if visited.get(w) {
+                                    continue;
+                                }
+                                let so = b.search_parent_min(w, &mut ctx, |v| frontier.get(v))?;
+                                out.dram_edges += so.dram_edges;
+                                out.nvm_edges += so.nvm_edges;
+                                if let Some(local) = local.as_mut() {
+                                    // Probes read w's own adjacency list —
+                                    // domain-local by construction.
+                                    local.record(k, k, so.dram_edges + so.nvm_edges);
+                                }
+                                if let Some(p) = so.parent {
+                                    // w has a unique owner unit: plain
+                                    // store, and the frontier bitmap (not
+                                    // visited) arbitrates searches, so
+                                    // setting bits mid-step is safe.
+                                    parent[w as usize].store(p, Ordering::Relaxed);
+                                    visited.set(w);
+                                    next.set(w);
+                                    out.discovered += 1;
+                                }
+                            }
+                        }
+                        if let Some(start_ns) = step_start {
+                            tracer.span(
+                                start_ns,
+                                tracer.now_ns(),
+                                sembfs_obs::TraceEvent::Step {
+                                    dir: sembfs_obs::Dir::BottomUp,
+                                    scanned_edges: out.dram_edges + out.nvm_edges,
+                                },
+                            );
+                        }
+                        Ok((out, local))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel bottom-up worker panicked"))
+                .collect()
+        });
+
+    let mut total = BottomUpOutput {
+        discovered: 0,
+        dram_edges: 0,
+        nvm_edges: 0,
+    };
+    for r in results {
+        let (out, local) = r?;
+        total.discovered += out.discovered;
+        total.dram_edges += out.dram_edges;
+        total.nvm_edges += out.nvm_edges;
+        if let (Some(counters), Some(local)) = (counters, local) {
+            counters.merge(&local);
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{new_parent_array, snapshot_parents};
+    use sembfs_csr::{build_csr, BackwardGraph, BuildOptions, DramForwardGraph};
+    use sembfs_graph500::edge_list::MemEdgeList;
+
+    fn forward(edges: Vec<(u32, u32)>, n: u64, domains: usize) -> DramForwardGraph {
+        let el = MemEdgeList::new(n, edges);
+        let csr = build_csr(&el, BuildOptions::default()).unwrap();
+        DramForwardGraph::from_csr(&csr, &RangePartition::new(n, domains))
+    }
+
+    #[test]
+    fn expands_one_level() {
+        let g = forward(vec![(0, 1), (0, 2), (0, 3), (0, 4)], 5, 2);
+        let parent = new_parent_array(5, 0);
+        let visited = AtomicBitmap::new(5);
+        visited.set(0);
+        let out = par_top_down_step(&g, &[0], &parent, &visited, 64, 4, &NeighborCtx::dram, None)
+            .unwrap();
+        let mut next = out.next.clone();
+        next.sort_unstable();
+        assert_eq!(next, vec![1, 2, 3, 4]);
+        assert_eq!(out.scanned_edges, 4);
+        assert_eq!(&snapshot_parents(&parent)[1..], &[0, 0, 0, 0]);
+        for w in 1..5 {
+            assert!(visited.get(w));
+        }
+    }
+
+    #[test]
+    fn contended_targets_get_min_parent() {
+        // Complete bipartite 32×32: every target is proposed by all 32
+        // frontier vertices; the canonical winner is always vertex 0.
+        let mut edges = Vec::new();
+        for u in 0..32u32 {
+            for w in 32..64u32 {
+                edges.push((u, w));
+            }
+        }
+        let g = forward(edges, 64, 4);
+        let frontier: Vec<u32> = (0..32).collect();
+        for threads in [1, 2, 4, 8] {
+            let parent = new_parent_array(64, 0);
+            let visited = AtomicBitmap::new(64);
+            for &v in &frontier {
+                visited.set(v);
+            }
+            let out = par_top_down_step(
+                &g,
+                &frontier,
+                &parent,
+                &visited,
+                4,
+                threads,
+                &NeighborCtx::dram,
+                None,
+            )
+            .unwrap();
+            assert_eq!(out.next.len(), 32, "{threads} threads");
+            assert_eq!(out.scanned_edges, 32 * 32);
+            let snap = snapshot_parents(&parent);
+            for (w, &p) in snap.iter().enumerate().skip(32) {
+                assert_eq!(p, 0, "vertex {w} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn claims_are_exactly_once() {
+        // Each discovered vertex must appear in exactly one next buffer.
+        let mut edges = Vec::new();
+        for u in 0..16u32 {
+            for w in 16..176u32 {
+                edges.push((u, w));
+            }
+        }
+        let g = forward(edges, 176, 2);
+        let frontier: Vec<u32> = (0..16).collect();
+        let parent = new_parent_array(176, 0);
+        let visited = AtomicBitmap::new(176);
+        for &v in &frontier {
+            visited.set(v);
+        }
+        let out = par_top_down_step(
+            &g,
+            &frontier,
+            &parent,
+            &visited,
+            2,
+            8,
+            &NeighborCtx::dram,
+            None,
+        )
+        .unwrap();
+        let mut next = out.next.clone();
+        next.sort_unstable();
+        let deduped = next.len();
+        next.dedup();
+        assert_eq!(next.len(), deduped, "a vertex was claimed twice");
+        assert_eq!(next, (16..176).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn bottom_up_takes_min_frontier_neighbor() {
+        // Vertex 3's backward neighbors are [2, 0, 1] (unsorted build);
+        // with frontier {1, 2} the first-hit kernel would pick 2, the
+        // deterministic kernel must pick 1.
+        let el = MemEdgeList::new(4, vec![(3, 2), (3, 0), (3, 1)]);
+        let csr = build_csr(&el, BuildOptions::default()).unwrap();
+        let bg = BackwardGraph::new(csr, RangePartition::new(4, 1));
+        let parent = new_parent_array(4, 0);
+        let visited = AtomicBitmap::new(4);
+        visited.set(1);
+        visited.set(2);
+        let frontier = AtomicBitmap::new(4);
+        frontier.set(1);
+        frontier.set(2);
+        let next = AtomicBitmap::new(4);
+        let out = par_bottom_up_step(
+            &bg,
+            &frontier,
+            &next,
+            &parent,
+            &visited,
+            4,
+            &NeighborCtx::dram,
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.discovered, 1);
+        assert_eq!(parent[3].load(Ordering::Relaxed), 1);
+        assert!(next.get(3));
+    }
+
+    #[test]
+    fn thread_counts_agree_with_each_other() {
+        // A denser random-ish graph; every thread count must produce the
+        // same parent array from the same frontier.
+        let p = sembfs_graph500::KroneckerParams::graph500(8, 8);
+        let el = p.generate();
+        let csr = build_csr(&el, BuildOptions::default()).unwrap();
+        let n = csr.num_vertices();
+        let g = DramForwardGraph::from_csr(&csr, &RangePartition::new(n, 4));
+        let root = (0..n as u32).find(|&v| csr.degree(v) > 0).unwrap();
+        let run = |threads: usize| {
+            let parent = new_parent_array(n, root);
+            let visited = AtomicBitmap::new(n);
+            visited.set(root);
+            let mut frontier = vec![root];
+            while !frontier.is_empty() {
+                let out = par_top_down_step(
+                    &g,
+                    &frontier,
+                    &parent,
+                    &visited,
+                    8,
+                    threads,
+                    &NeighborCtx::dram,
+                    None,
+                )
+                .unwrap();
+                frontier = out.next;
+            }
+            snapshot_parents(&parent)
+        };
+        let base = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), base, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn counters_sum_to_scanned_edges() {
+        let g = forward(vec![(0, 1), (0, 2), (1, 3), (2, 3)], 4, 2);
+        let counters = DomainCounters::new(2);
+        let parent = new_parent_array(4, 0);
+        let visited = AtomicBitmap::new(4);
+        visited.set(0);
+        let out = par_top_down_step(
+            &g,
+            &[0],
+            &parent,
+            &visited,
+            64,
+            2,
+            &NeighborCtx::dram,
+            Some(&counters),
+        )
+        .unwrap();
+        assert_eq!(
+            counters.total_local() + counters.total_remote(),
+            out.scanned_edges
+        );
+    }
+}

@@ -77,6 +77,28 @@ impl DomainCounters {
         self.local.len()
     }
 
+    /// Fold a thread-local accumulator into the shared counters — one
+    /// `fetch_add` per non-zero cell instead of one per access, which keeps
+    /// concurrent charging race-free and cheap (see
+    /// [`LocalDomainCounters`]).
+    pub fn merge(&self, local: &LocalDomainCounters) {
+        assert_eq!(
+            self.domains(),
+            local.domains(),
+            "domain count mismatch in counter merge"
+        );
+        for (k, &n) in local.local.iter().enumerate() {
+            if n != 0 {
+                self.local[k].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        for (k, &n) in local.remote.iter().enumerate() {
+            if n != 0 {
+                self.remote[k].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Register these counters as a pull-style metrics source: per-domain
     /// local/remote access counters plus the aggregate locality gauge.
     pub fn register_metrics(self: &std::sync::Arc<Self>, registry: &sembfs_obs::MetricsRegistry) {
@@ -104,6 +126,50 @@ impl DomainCounters {
             ));
             out
         }));
+    }
+}
+
+/// Plain (non-atomic) per-thread accumulator with the same `record`
+/// semantics as [`DomainCounters`].
+///
+/// Worker threads in the parallel BFS kernels charge into one of these and
+/// fold it into the shared atomic counters once per step via
+/// [`DomainCounters::merge`] — accumulate-then-merge instead of contended
+/// per-access `fetch_add`s on the hot path.
+#[derive(Debug, Clone)]
+pub struct LocalDomainCounters {
+    local: Vec<u64>,
+    remote: Vec<u64>,
+}
+
+impl LocalDomainCounters {
+    /// Zeroed accumulator for `domains` NUMA domains.
+    pub fn new(domains: usize) -> Self {
+        Self {
+            local: vec![0; domains],
+            remote: vec![0; domains],
+        }
+    }
+
+    /// Record `n` accesses performed by `from` on data owned by `to`
+    /// (charged to the owning domain, same as [`DomainCounters::record`]).
+    #[inline]
+    pub fn record(&mut self, from: usize, to: usize, n: u64) {
+        if from == to {
+            self.local[to] += n;
+        } else {
+            self.remote[to] += n;
+        }
+    }
+
+    /// Number of domains tracked.
+    pub fn domains(&self) -> usize {
+        self.local.len()
+    }
+
+    /// Sum of every cell (local + remote across domains).
+    pub fn total(&self) -> u64 {
+        self.local.iter().chain(self.remote.iter()).sum()
     }
 }
 
@@ -160,6 +226,43 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("sembfs_numa_locality 0.75"), "{text}");
+    }
+
+    #[test]
+    fn local_accumulators_merge_like_direct_recording() {
+        let direct = DomainCounters::new(3);
+        let merged = DomainCounters::new(3);
+        let mut acc = LocalDomainCounters::new(3);
+        for (from, to, n) in [(0, 0, 5), (1, 0, 3), (2, 2, 7), (0, 1, 2)] {
+            direct.record(from, to, n);
+            acc.record(from, to, n);
+        }
+        assert_eq!(acc.total(), 17);
+        merged.merge(&acc);
+        for k in 0..3 {
+            assert_eq!(merged.local(k), direct.local(k), "local {k}");
+            assert_eq!(merged.remote(k), direct.remote(k), "remote {k}");
+        }
+    }
+
+    #[test]
+    fn concurrent_merges_sum_exactly() {
+        let shared = std::sync::Arc::new(DomainCounters::new(2));
+        let mut handles = Vec::new();
+        for t in 0..8usize {
+            let shared = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut acc = LocalDomainCounters::new(2);
+                for i in 0..1000u64 {
+                    acc.record(t % 2, (t + i as usize) % 2, 1);
+                }
+                shared.merge(&acc);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared.total_local() + shared.total_remote(), 8000);
     }
 
     #[test]

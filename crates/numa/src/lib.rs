@@ -17,7 +17,7 @@ pub mod counters;
 pub mod partition;
 pub mod topology;
 
-pub use counters::DomainCounters;
+pub use counters::{DomainCounters, LocalDomainCounters};
 pub use partition::RangePartition;
 pub use topology::Topology;
 

@@ -39,6 +39,8 @@ pub struct LevelRow {
     pub cache_hits: u64,
     /// Page-cache demand misses in the window.
     pub cache_misses: u64,
+    /// Worker threads the level's step ran on (0 in pre-threading traces).
+    pub threads: u64,
 }
 
 impl LevelRow {
@@ -65,6 +67,14 @@ impl LevelRow {
     /// the device was active.
     pub fn avgqu_sz(&self) -> Option<f64> {
         (self.io_wall_ns > 0).then(|| self.io_response_ns as f64 / self.io_wall_ns as f64)
+    }
+
+    /// Overlapped-wait ratio in `[0, 1)`: the fraction of summed request
+    /// response time hidden by concurrent in-flight reads
+    /// (`1 − wall/Σresponse`), when the level did device I/O.
+    pub fn overlap(&self) -> Option<f64> {
+        (self.io_response_ns > 0)
+            .then(|| (1.0 - self.io_wall_ns as f64 / self.io_response_ns as f64).max(0.0))
     }
 }
 
@@ -155,6 +165,7 @@ fn level_row(s: &Sample) -> Option<LevelRow> {
             io_wall_ns,
             cache_hits,
             cache_misses,
+            threads,
         } => Some(LevelRow {
             level,
             dir,
@@ -169,6 +180,7 @@ fn level_row(s: &Sample) -> Option<LevelRow> {
             io_wall_ns,
             cache_hits,
             cache_misses,
+            threads,
         }),
         _ => None,
     }
@@ -318,7 +330,7 @@ pub fn render_reports(reports: &[RunReport]) -> String {
         );
         let _ = writeln!(
             out,
-            "{:>6} {:>10} {:>10} {:>11} {:>13} {:>9} {:>9} {:>9} {:>9}",
+            "{:>6} {:>10} {:>10} {:>11} {:>13} {:>9} {:>9} {:>9} {:>9} {:>4} {:>8}",
             "level",
             "direction",
             "frontier",
@@ -327,12 +339,14 @@ pub fn render_reports(reports: &[RunReport]) -> String {
             "MTEPS",
             "NVM-MiB",
             "hit-rate",
-            "avgqu-sz"
+            "avgqu-sz",
+            "thr",
+            "overlap"
         );
         for l in &r.levels {
             let _ = writeln!(
                 out,
-                "{:>6} {:>10} {:>10} {:>11} {:>13} {:>9.2} {:>9.2} {:>9} {:>9}",
+                "{:>6} {:>10} {:>10} {:>11} {:>13} {:>9.2} {:>9.2} {:>9} {:>9} {:>4} {:>8}",
                 l.level,
                 l.dir.as_str(),
                 l.frontier,
@@ -341,7 +355,9 @@ pub fn render_reports(reports: &[RunReport]) -> String {
                 l.mteps(),
                 l.nvm_mib(),
                 opt(l.hit_rate(), 4),
-                opt(l.avgqu_sz(), 2)
+                opt(l.avgqu_sz(), 2),
+                l.threads,
+                opt(l.overlap(), 2)
             );
         }
         for sw in &r.switches {
@@ -407,6 +423,7 @@ mod tests {
                 io_wall_ns: 300,
                 cache_hits: 3,
                 cache_misses: 1,
+                threads: 4,
             },
         }
     }
@@ -564,10 +581,15 @@ mod tests {
         assert!((row.nvm_mib() - 2.0).abs() < 1e-9);
         assert_eq!(row.hit_rate(), Some(0.75));
         assert_eq!(row.avgqu_sz(), Some(2.0));
+        assert_eq!(row.threads, 4);
+        // wall 300 of Σresponse 600 → half the wait was overlapped.
+        assert_eq!(row.overlap(), Some(0.5));
         // No device window → no avgqu-sz.
         let mut quiet = row;
         quiet.io_wall_ns = 0;
         assert_eq!(quiet.avgqu_sz(), None);
+        quiet.io_response_ns = 0;
+        assert_eq!(quiet.overlap(), None);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub fn sample_json(s: &Sample) -> String {
             io_wall_ns,
             cache_hits,
             cache_misses,
+            threads,
         } => obj
             .u64("level", level as u64)
             .str("dir", dir.as_str())
@@ -59,7 +60,8 @@ pub fn sample_json(s: &Sample) -> String {
             .u64("io_response_ns", io_response_ns)
             .u64("io_wall_ns", io_wall_ns)
             .u64("cache_hits", cache_hits)
-            .u64("cache_misses", cache_misses),
+            .u64("cache_misses", cache_misses)
+            .u64("threads", threads),
         TraceEvent::Switch {
             level,
             from,
@@ -188,6 +190,8 @@ fn parse_sample(v: &Json) -> Result<Option<Sample>, String> {
             io_wall_ns: field_u64(v, "io_wall_ns")?,
             cache_hits: field_u64(v, "cache_hits")?,
             cache_misses: field_u64(v, "cache_misses")?,
+            // Absent in traces written before threading landed.
+            threads: field_u64(v, "threads").unwrap_or(0),
         },
         "switch" => TraceEvent::Switch {
             level: field_u64(v, "level")? as u32,
@@ -315,6 +319,7 @@ mod tests {
                     io_wall_ns: 800,
                     cache_hits: 5,
                     cache_misses: 2,
+                    threads: 4,
                 },
             },
             Sample {

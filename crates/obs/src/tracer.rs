@@ -185,6 +185,8 @@ pub enum TraceEvent {
         cache_hits: u64,
         /// Page-cache demand misses during the level.
         cache_misses: u64,
+        /// Worker threads the level's step ran on.
+        threads: u64,
     },
     /// One direction-policy decision with the inputs that produced it
     /// (instant event, emitted before the level runs).

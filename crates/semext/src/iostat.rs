@@ -198,21 +198,26 @@ impl IoSnapshot {
     /// Counter-wise difference `self − earlier` (window statistics).
     ///
     /// The window's `first_arrival_ns` is taken as the earlier snapshot's
-    /// last completion (the start of the interval).
+    /// last completion (the start of the interval). Differences saturate:
+    /// when the two snapshots race concurrent recorders the window can
+    /// observe an "earlier" snapshot taken mid-update, and a clamped zero
+    /// beats a debug-mode underflow panic.
     pub fn delta(&self, earlier: &IoSnapshot) -> IoSnapshot {
         IoSnapshot {
-            requests: self.requests - earlier.requests,
-            bytes: self.bytes - earlier.bytes,
-            sectors: self.sectors - earlier.sectors,
-            response_ns: self.response_ns - earlier.response_ns,
-            service_ns: self.service_ns - earlier.service_ns,
+            requests: self.requests.saturating_sub(earlier.requests),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+            sectors: self.sectors.saturating_sub(earlier.sectors),
+            response_ns: self.response_ns.saturating_sub(earlier.response_ns),
+            service_ns: self.service_ns.saturating_sub(earlier.service_ns),
             first_arrival_ns: if earlier.requests == 0 {
                 self.first_arrival_ns
             } else {
                 earlier.last_completion_ns
             },
             last_completion_ns: self.last_completion_ns,
-            queued_at_arrival: self.queued_at_arrival - earlier.queued_at_arrival,
+            queued_at_arrival: self
+                .queued_at_arrival
+                .saturating_sub(earlier.queued_at_arrival),
         }
     }
 }
@@ -252,13 +257,16 @@ impl CacheSnapshot {
         }
     }
 
-    /// Counter difference `self − earlier` (windowed view).
+    /// Counter difference `self − earlier` (windowed view). Saturating for
+    /// the same reason as [`IoSnapshot::delta`]: sharded cache snapshots
+    /// are not a single atomic read, so a window bound taken while other
+    /// threads charge counters can transiently run "ahead" per-field.
     pub fn delta(&self, earlier: &CacheSnapshot) -> CacheSnapshot {
         CacheSnapshot {
-            hits: self.hits - earlier.hits,
-            misses: self.misses - earlier.misses,
-            evictions: self.evictions - earlier.evictions,
-            readahead_pages: self.readahead_pages - earlier.readahead_pages,
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            readahead_pages: self.readahead_pages.saturating_sub(earlier.readahead_pages),
         }
     }
 }
@@ -315,6 +323,39 @@ mod tests {
         assert_eq!(d.first_arrival_ns, 50); // window starts at prior completion
         assert_eq!(d.last_completion_ns, 260);
         assert_eq!(d.queued_at_arrival, 1);
+    }
+
+    #[test]
+    fn racy_window_bounds_saturate_instead_of_underflowing() {
+        // An "earlier" snapshot observed mid-update can be per-field ahead
+        // of a later one; the delta must clamp to zero, not panic.
+        let ahead = IoSnapshot {
+            requests: 5,
+            bytes: 5 * 4096,
+            sectors: 40,
+            response_ns: 500,
+            service_ns: 250,
+            first_arrival_ns: 0,
+            last_completion_ns: 90,
+            queued_at_arrival: 3,
+        };
+        let behind = IoSnapshot {
+            requests: 4,
+            ..ahead
+        };
+        let d = behind.delta(&ahead);
+        assert_eq!(d.requests, 0);
+        assert_eq!(d.bytes, 0);
+        let c_ahead = CacheSnapshot {
+            hits: 10,
+            misses: 4,
+            evictions: 2,
+            readahead_pages: 1,
+        };
+        let c_behind = CacheSnapshot { hits: 9, ..c_ahead };
+        let cd = c_behind.delta(&c_ahead);
+        assert_eq!(cd.hits, 0);
+        assert_eq!(cd.misses, 0);
     }
 
     #[test]

@@ -136,6 +136,10 @@ fn main() {
             let scenario = scenario_of(&flags);
             let num_roots: usize = flag(&flags, "roots", 8);
             let trace_out = flags.get("trace-out").filter(|p| !p.is_empty()).cloned();
+            // Checksum mode prints *only* runtime-independent lines
+            // (parent-tree digests, visited/scanned counts) so two runs of
+            // the same seed diff clean — the CI determinism gate.
+            let checksum = flags.contains_key("checksum");
             let edges = params.generate();
             let opts = ScenarioOptions {
                 delay_mode: sembfs::semext::DelayMode::Throttled,
@@ -149,19 +153,45 @@ fn main() {
             }
             let roots = select_roots(params.num_vertices(), num_roots, seed, |v| data.degree(v));
             let policy = scenario.best_policy();
+            let mut cfg = BfsConfig::paper();
+            if let Some(t) = flags.get("threads").and_then(|v| v.parse().ok()) {
+                cfg = cfg.with_threads(t);
+            }
             println!(
-                "{} | {} | {num_roots} roots",
+                "{} | {} | {num_roots} roots | {} threads",
                 scenario.label(),
-                policy.label()
+                policy.label(),
+                if cfg.threads >= 1 {
+                    cfg.threads.to_string()
+                } else {
+                    "legacy".to_string()
+                }
             );
+            let mut digests: Vec<(VertexId, u64, u64, u64)> = Vec::new();
             let summary = run_rounds(&roots, &edges, |root| {
-                let run = data.run(root, &policy, &BfsConfig::paper()).expect("bfs");
+                let run = data.run(root, &policy, &cfg).expect("bfs");
+                if checksum {
+                    digests.push((
+                        root,
+                        parent_checksum(&run.parent),
+                        run.visited,
+                        run.scanned_edges(),
+                    ));
+                }
                 (run.parent, run.teps_edges, run.elapsed)
             })
             .expect("all rounds validate");
-            println!("{}", summary.teps_stats.to_report());
-            println!("score (median): {:.3} MTEPS", summary.median_teps() / 1e6);
-            print_fault_summary(&data);
+            if checksum {
+                for (root, digest, visited, scanned) in &digests {
+                    println!(
+                        "root {root}: parent-tree {digest:016x} | visited {visited} | scanned {scanned}"
+                    );
+                }
+            } else {
+                println!("{}", summary.teps_stats.to_report());
+                println!("score (median): {:.3} MTEPS", summary.median_teps() / 1e6);
+                print_fault_summary(&data);
+            }
             if let Some(path) = trace_out {
                 let tracer = sembfs::obs::global();
                 tracer.set_enabled(false);
@@ -373,6 +403,19 @@ fn main() {
     }
 }
 
+/// FNV-1a digest of a parent array — stable across runs, platforms, and
+/// thread counts (the deterministic kernels guarantee the array itself is).
+fn parent_checksum(parent: &[VertexId]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &p in parent {
+        for b in p.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
 /// Build a scenario layout for the query commands: throttled device (so
 /// latency percentiles mean something), page cache on NVM scenarios.
 fn build_query_data(
@@ -398,8 +441,10 @@ fn usage() {
          commands:\n\
          \x20 generate  --scale N [--seed S] [--out FILE]   write a Kronecker edge file\n\
          \x20 info      --scale N [--seed S]                print Table II-style sizes\n\
-         \x20 bfs       --scale N [--scenario dram|flash|ssd] [--roots R]\n\
-         \x20           [--trace-out TRACE.jsonl] [--faults SPEC]  run the benchmark\n\
+         \x20 bfs       --scale N [--scenario dram|flash|ssd] [--roots R] [--threads T]\n\
+         \x20           [--trace-out TRACE.jsonl] [--faults SPEC] [--checksum]  run the benchmark\n\
+         \x20           (--threads T >= 1 uses the deterministic parallel kernels;\n\
+         \x20            --checksum prints only run-invariant digests for determinism diffs)\n\
          \x20 report    TRACE.jsonl [--chrome OUT.json]      per-level table from a trace\n\
          \x20 sweep     --scale N [--scenario dram|flash|ssd] [--roots R]  α/β sweep\n\
          \x20 query     --scale N [--scenario dram|flash|ssd] [--src A --dst B | --pairs P]\n\

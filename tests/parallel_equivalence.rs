@@ -1,0 +1,153 @@
+//! Differential harness for the parallel hybrid BFS kernels (ISSUE 5).
+//!
+//! Runs the serial canonical `reference_bfs` against the 1/2/4/8-thread
+//! hybrid across every storage layout (all-DRAM, external forward graph,
+//! cold-tail backward offload) × device profiles × a recoverable
+//! `FaultPlan`, asserting the parent trees are *bit-identical* — not just
+//! level-equivalent — and that the `ValidationReport`s agree. The
+//! min-parent CAS tie-break makes the tree a pure function of the graph,
+//! so any divergence is a kernel bug, not an acceptable alternative tree.
+
+use sembfs::prelude::*;
+use sembfs::semext::{DeviceProfile, FaultPlan};
+use sembfs_csr::{build_csr, BuildOptions};
+use sembfs_graph500::validate::ValidationReport;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn kron(scale: u32, seed: u64) -> MemEdgeList {
+    KroneckerParams::graph500(scale, seed).generate()
+}
+
+/// A fault plan every read survives given the retry budget: transient
+/// EIO, checksummed corruption (healed by `verify_pages`), short stalls.
+fn recoverable_plan() -> FaultPlan {
+    FaultPlan::parse("seed=29,eio=0.04,corrupt=0.03,stall=0.02,stall_us=40,retries=20")
+        .expect("valid fault spec")
+}
+
+/// The three storage layouts of the ISSUE. `k = 4` puts a meaningful
+/// share of backward edges on the device for a Kronecker graph (hubs far
+/// exceed degree 4) while the hot prefix stays in DRAM.
+fn layouts() -> Vec<(&'static str, Scenario, ScenarioOptions)> {
+    let base = ScenarioOptions {
+        topology: Topology::new(2, 2),
+        ..Default::default()
+    };
+    vec![
+        ("dram", Scenario::DramOnly, base.clone()),
+        ("external-forward", Scenario::DramPcieFlash, base.clone()),
+        (
+            "cold-tail",
+            Scenario::DramPcieFlash,
+            ScenarioOptions {
+                backward_offload_k: Some(4),
+                ..base
+            },
+        ),
+    ]
+}
+
+/// Serial oracle: canonical tree + its validation report.
+fn oracle(edges: &MemEdgeList, root: VertexId) -> (Vec<VertexId>, ValidationReport) {
+    let csr = build_csr(edges, BuildOptions::default()).unwrap();
+    let parent = reference_bfs(&csr, root).parent;
+    let report = validate_bfs_tree(&parent, root, edges).expect("reference tree validates");
+    (parent, report)
+}
+
+fn assert_all_threads_match(
+    edges: &MemEdgeList,
+    scenario: Scenario,
+    opts: &ScenarioOptions,
+    label: &str,
+) {
+    let data = ScenarioData::build(edges, scenario, opts.clone()).unwrap();
+    let roots = select_roots(data.csr().num_vertices(), 2, 7, |v| data.degree(v));
+    let policy = scenario.best_policy();
+    for &root in &roots {
+        let (want_parent, want_report) = oracle(edges, root);
+        for threads in THREADS {
+            let cfg = BfsConfig::paper().with_threads(threads);
+            let run = data.run(root, &policy, &cfg).unwrap();
+            assert_eq!(
+                run.parent, want_parent,
+                "{label} root {root} threads {threads}: parent tree diverged"
+            );
+            let report = validate_bfs_tree(&run.parent, root, edges).unwrap();
+            assert_eq!(
+                report, want_report,
+                "{label} root {root} threads {threads}: validation report diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_layout_matches_reference_at_every_thread_count() {
+    let edges = kron(11, 41);
+    for (label, scenario, opts) in layouts() {
+        assert_all_threads_match(&edges, scenario, &opts, label);
+    }
+}
+
+#[test]
+fn device_profiles_do_not_change_the_tree() {
+    let edges = kron(10, 77);
+    for profile in [
+        DeviceProfile::iodrive2(),
+        DeviceProfile::intel_ssd_320(),
+        DeviceProfile::nvme_gen4(),
+    ] {
+        for (label, scenario, mut opts) in layouts() {
+            if scenario == Scenario::DramOnly {
+                continue; // no device to override
+            }
+            let name = profile.name;
+            opts.device_profile_override = Some(profile.clone());
+            assert_all_threads_match(&edges, scenario, &opts, &format!("{label}/{name}"));
+        }
+    }
+}
+
+#[test]
+fn recoverable_faults_leave_parallel_trees_bit_identical() {
+    let edges = kron(10, 53);
+    for (label, scenario, mut opts) in layouts() {
+        if scenario == Scenario::DramOnly {
+            continue; // fault plans apply to the device path
+        }
+        opts.fault_plan = Some(recoverable_plan());
+        assert_all_threads_match(&edges, scenario, &opts, &format!("{label}/faulted"));
+    }
+}
+
+#[test]
+fn fixed_direction_parallel_kernels_match_reference() {
+    // Force each kernel to run every level so both parallel paths are
+    // exercised end-to-end (the best policies switch almost immediately).
+    let edges = kron(10, 19);
+    let data = ScenarioData::build(
+        &edges,
+        Scenario::DramPcieFlash,
+        ScenarioOptions {
+            topology: Topology::new(2, 2),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let root = select_roots(data.csr().num_vertices(), 1, 3, |v| data.degree(v))[0];
+    let (want_parent, want_report) = oracle(&edges, root);
+    for direction in [Direction::TopDown, Direction::BottomUp] {
+        for threads in THREADS {
+            let cfg = BfsConfig::paper().with_threads(threads);
+            let run = data.run(root, &FixedPolicy(direction), &cfg).unwrap();
+            assert_eq!(
+                run.parent, want_parent,
+                "{direction:?} threads {threads}: parent tree diverged"
+            );
+            let report = validate_bfs_tree(&run.parent, root, &edges).unwrap();
+            assert_eq!(report, want_report);
+        }
+    }
+}

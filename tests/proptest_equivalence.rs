@@ -58,6 +58,46 @@ proptest! {
         validate_bfs_tree(&run.parent, root, &edges).unwrap();
     }
 
+    /// The parallel kernels (ISSUE 5) are deterministic for any graph,
+    /// any α/β, and any worker count: the parent tree is *bit-identical*
+    /// to the canonical serial `reference_bfs` (min-parent tie-break),
+    /// the tree validates, and the distances-only entry point agrees on
+    /// every level.
+    #[test]
+    fn parallel_always_matches_reference_bit_exactly(
+        (edges, root) in arb_graph(),
+        alpha_exp in 0u32..7,
+        beta_exp in 0u32..7,
+        scenario_pick in 0usize..3,
+        threads in 1usize..9,
+    ) {
+        let csr = build_csr(&edges, BuildOptions::default()).unwrap();
+        let want = reference_bfs(&csr, root).parent;
+        let expect_levels = compute_levels(&want, root).unwrap();
+
+        let scenario = Scenario::ALL[scenario_pick];
+        let data = ScenarioData::build(
+            &edges,
+            scenario,
+            ScenarioOptions { topology: Topology::new(3, 1), ..Default::default() },
+        )
+        .unwrap();
+        let policy = AlphaBetaPolicy::new(
+            10f64.powi(alpha_exp as i32),
+            10f64.powi(beta_exp as i32),
+        );
+        let cfg = BfsConfig::paper().with_threads(threads);
+        let run = data.run(root, &policy, &cfg).unwrap();
+        prop_assert_eq!(&run.parent, &want, "threads {}", threads);
+        let report = validate_bfs_tree(&run.parent, root, &edges).unwrap();
+        prop_assert_eq!(&report.levels, &expect_levels);
+
+        let dist = data.run_distances(root, &policy, &cfg).unwrap();
+        prop_assert_eq!(&dist.levels, &expect_levels);
+        prop_assert_eq!(dist.visited, run.visited);
+        prop_assert_eq!(dist.max_level, report.max_level);
+    }
+
     /// The distributed searcher equals the reference for any node count.
     #[test]
     fn dist_always_matches_reference(
